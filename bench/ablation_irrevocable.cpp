@@ -1,0 +1,109 @@
+// Ablation: the dedup anomaly in microcosm (§5.4).
+//
+// dedup stops scaling under TMParsec because its output stage performs I/O
+// inside a *relaxed* (irrevocable) transaction, and a relaxed transaction
+// cannot run in parallel with any other transaction: while the I/O is in
+// flight, there is no concurrency.  Under locks, the same I/O only holds
+// its own mutex and every other thread keeps computing.
+//
+// This bench interleaves compute operations (optimistic transactions) with
+// I/O operations (a blocking device write) and compares:
+//   lock-guarded I/O  -- I/O under a private mutex, compute unaffected
+//   relaxed-txn I/O   -- I/O inside tm::irrevocably, which drains and
+//                        blocks all transactions for its whole duration
+//
+// Even on one core the difference is structural: I/O wait is overlap-able
+// with compute under locks, and forcibly serialized under relaxed
+// transactions.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parsec/workload.h"
+#include "tm/api.h"
+#include "tm/var.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace tmcv;
+
+// A blocking "device write": nanosleep stands in for disk/pipe latency
+// (what dedup's output write() costs).  While one thread sleeps here,
+// other threads could be computing -- unless a relaxed transaction forbids
+// it.
+void blocking_io() { ::usleep(300); }
+
+double run(int threads, int ops_per_thread, int io_period, bool relaxed_io) {
+  // Compute ops carry real work (~30us) so I/O waits have something to
+  // overlap with.
+  const auto compute_iters = static_cast<std::uint64_t>(
+      30.0 * parsec::calibrated_iters_per_us());
+  std::vector<std::unique_ptr<tm::var<std::uint64_t>>> counters;
+  for (int i = 0; i < threads; ++i)
+    counters.push_back(std::make_unique<tm::var<std::uint64_t>>(0));
+  std::mutex io_mutex;
+  Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < ops_per_thread; ++i) {
+        if (i % io_period == 0) {
+          if (relaxed_io) {
+            // TMParsec dedup: I/O inside a relaxed transaction.  Every
+            // other transaction drains and blocks for the I/O's duration.
+            tm::irrevocably([&] {
+              counters[t]->store(counters[t]->load() + 1);
+              blocking_io();
+            });
+          } else {
+            // Lock-based dedup: I/O under its own mutex; transactions
+            // elsewhere keep running.
+            std::lock_guard<std::mutex> g(io_mutex);
+            blocking_io();
+            tm::atomically(tm::Backend::EagerSTM, [&] {
+              counters[t]->store(counters[t]->load() + 1);
+            });
+          }
+        } else {
+          tm::atomically(tm::Backend::EagerSTM, [&] {
+            const std::uint64_t w = parsec::synth_work(
+                counters[t]->load() + 1, compute_iters);
+            counters[t]->store(counters[t]->load() + (w | 1) - (w | 1) + 1);
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return sw.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kOps = 1000;
+  constexpr int kIoPeriod = 10;  // every 10th op performs I/O
+  std::printf("Ablation: I/O in a relaxed transaction vs under a lock "
+              "(the dedup anomaly; %d ops/thread, I/O every %d ops)\n\n",
+              kOps, kIoPeriod);
+  std::printf("%-10s %22s %22s %10s\n", "threads", "lock-guarded I/O (s)",
+              "relaxed-txn I/O (s)", "slowdown");
+  for (int threads : {1, 2, 4, 8}) {
+    const double t_lock = run(threads, kOps, kIoPeriod, false);
+    const double t_relaxed = run(threads, kOps, kIoPeriod, true);
+    std::printf("%-10d %22.3f %22.3f %9.2fx\n", threads, t_lock, t_relaxed,
+                t_relaxed / t_lock);
+  }
+  std::printf("\nWith lock-guarded I/O, threads overlap each other's I/O "
+              "waits; with relaxed-transaction I/O every thread stalls "
+              "behind the serial lock for the I/O's full duration -- the "
+              "\"during I/O, there is no concurrency\" effect that leaves "
+              "dedup flat in Figures 1(h)/2(h).\n");
+  return 0;
+}

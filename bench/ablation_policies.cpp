@@ -1,0 +1,154 @@
+// Ablation: wake-policy selection (§3.4) -- when several threads wait on
+// *different predicates* through one condition variable, how much work does
+// each strategy do to wake the right thread?
+//
+//   notify_all   -- oblivious wake-ups: the whole herd wakes, one thread
+//                   proceeds, the rest re-wait.
+//   notify_one   -- may wake the wrong thread, which must pass the
+//                   notification along (re-notify) before re-waiting.
+//   notify_best  -- the user-space wait set lets the notifier select the
+//                   thread whose predicate is satisfied: exactly one wake.
+//
+// Reported: wall time and total wake-ups for R rounds with K waiters.
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/condvar.h"
+#include "sync/sync_context.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace tmcv;
+
+enum class Strategy { NotifyAll, NotifyOne, NotifyBest };
+
+const char* name(Strategy s) {
+  switch (s) {
+    case Strategy::NotifyAll:
+      return "notify_all (oblivious)";
+    case Strategy::NotifyOne:
+      return "notify_one (relay)";
+    case Strategy::NotifyBest:
+      return "notify_best (targeted)";
+  }
+  return "?";
+}
+
+struct Result {
+  double seconds;
+  std::uint64_t wakeups;
+};
+
+Result run(Strategy strategy, int waiters, int rounds) {
+  CondVar cv;
+  std::mutex m;
+  // ready[k] set means predicate k is satisfied; thread k may consume it.
+  std::vector<bool> ready(static_cast<std::size_t>(waiters), false);
+  std::atomic<std::uint64_t> wakeups{0};
+  std::atomic<int> consumed{0};
+  std::atomic<bool> stop{false};
+
+  std::atomic<int> alive{waiters};
+  std::vector<std::thread> pool;
+  for (int k = 0; k < waiters; ++k) {
+    pool.emplace_back([&, k] {
+      struct Departure {
+        std::atomic<int>& alive;
+        ~Departure() { alive.fetch_sub(1); }
+      } departure{alive};
+      for (;;) {
+        std::unique_lock<std::mutex> lk(m);
+        for (;;) {
+          if (stop.load()) return;
+          if (ready[static_cast<std::size_t>(k)]) break;
+          LockSync sync(m);
+          cv.wait(sync, static_cast<std::uint64_t>(k));  // tag = predicate id
+          wakeups.fetch_add(1, std::memory_order_relaxed);
+          if (strategy == Strategy::NotifyOne && !stop.load() &&
+              !ready[static_cast<std::size_t>(k)]) {
+            // Wrong thread woken: pass the notification along before
+            // re-waiting (the §3.4 relay pattern).
+            cv.notify_one();
+          }
+        }
+        ready[static_cast<std::size_t>(k)] = false;
+        lk.unlock();
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Let every waiter park before the clock starts.
+  while (cv.waiter_count() < static_cast<std::size_t>(waiters))
+    std::this_thread::yield();
+
+  Stopwatch sw;
+  Xoshiro256 rng(12345);
+  for (int r = 0; r < rounds; ++r) {
+    // Random target: with FIFO wake order the notified head is usually the
+    // wrong thread, which is exactly the oblivious/relay scenario.
+    const int target = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(waiters)));
+    {
+      std::lock_guard<std::mutex> g(m);
+      ready[static_cast<std::size_t>(target)] = true;
+    }
+    switch (strategy) {
+      case Strategy::NotifyAll:
+        cv.notify_all();
+        break;
+      case Strategy::NotifyOne:
+        cv.notify_one();
+        break;
+      case Strategy::NotifyBest:
+        cv.notify_best([target](std::uint64_t tag) {
+          // Highest score for the satisfied predicate.
+          return tag == static_cast<std::uint64_t>(target) ? 1 : 0;
+        });
+        break;
+    }
+    while (consumed.load() <= r) std::this_thread::yield();
+  }
+  const double seconds = sw.elapsed_seconds();
+
+  stop.store(true);
+  // Drain: parked threads need wakes to observe stop.
+  std::thread drainer([&] {
+    while (alive.load() > 0) {
+      cv.notify_all();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : pool) t.join();
+  drainer.join();
+  return Result{seconds, wakeups.load()};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 400;
+  std::printf("Ablation: wake policies with per-thread predicates "
+              "(%d rounds)\n\n", kRounds);
+  std::printf("%-26s %8s %14s %12s %14s\n", "strategy", "waiters",
+              "time (ms)", "wakeups", "wakeups/round");
+  for (int waiters : {2, 4, 8}) {
+    for (Strategy s :
+         {Strategy::NotifyAll, Strategy::NotifyOne, Strategy::NotifyBest}) {
+      const Result r = run(s, waiters, kRounds);
+      std::printf("%-26s %8d %14.2f %12llu %14.2f\n", name(s), waiters,
+                  r.seconds * 1e3,
+                  static_cast<unsigned long long>(r.wakeups),
+                  static_cast<double>(r.wakeups) / kRounds);
+    }
+  }
+  std::printf("\nnotify_best wakes ~1 thread per round regardless of the "
+              "herd size; notify_all wakes the whole herd; notify_one "
+              "relays through on average half the herd.\n");
+  return 0;
+}

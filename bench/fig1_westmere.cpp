@@ -1,0 +1,20 @@
+// Figure 1 reproduction: "Westmere performance" -- per-benchmark time vs
+// threads for the three software systems, with the condition variables'
+// internal transactions (and the TMParsec port) running on the *software*
+// TM backend (our stand-in for GCC's ml_wt algorithm).
+//
+// The paper's Westmere is a 6-core/12-thread Xeon; this container is
+// single-core, so absolute scaling does not reproduce.  What must (and
+// does) hold is the relative claim: Parsec+TMCondVar tracks
+// Parsec+pthreadCondVar at every thread count, and TMParsec falls into the
+// three categories of §5.4.
+//
+// Usage: fig1_westmere [--quick] [--trials N] [--scale X]
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  const auto opt = tmcv::bench::parse_options(argc, argv);
+  tmcv::bench::run_figure("Figure1-Westmere", tmcv::tm::Backend::EagerSTM,
+                          /*haswell_threads=*/false, opt);
+  return 0;
+}

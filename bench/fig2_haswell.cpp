@@ -1,0 +1,15 @@
+// Figure 2 reproduction: "Haswell performance" -- the same grid as
+// Figure 1, but with the condition variables' internal transactions (and
+// the TMParsec port) on the *HTM* backend: our bounded-capacity,
+// abort-on-syscall, serial-fallback emulation of Intel RTM (see DESIGN.md
+// for the substitution argument).
+//
+// Usage: fig2_haswell [--quick] [--trials N] [--scale X]
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  const auto opt = tmcv::bench::parse_options(argc, argv);
+  tmcv::bench::run_figure("Figure2-Haswell", tmcv::tm::Backend::HTM,
+                          /*haswell_threads=*/true, opt);
+  return 0;
+}

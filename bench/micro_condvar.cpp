@@ -1,0 +1,120 @@
+// Microbenchmarks: condition-variable operation costs -- our transaction-
+// friendly condvar head-to-head with std::condition_variable (the pthread
+// mechanism it replaces), per TM backend.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/condvar.h"
+#include "core/legacy_cv.h"
+#include "tm/api.h"
+
+namespace {
+
+using namespace tmcv;
+
+tm::Backend backend_of(const benchmark::State& state) {
+  switch (state.range(0)) {
+    case 0:
+      return tm::Backend::EagerSTM;
+    case 1:
+      return tm::Backend::LazySTM;
+    default:
+      return tm::Backend::HTM;
+  }
+}
+
+// Notify with no waiter: the queue-probe transaction only (lost notify).
+void BM_NotifyOneEmpty(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  CondVar cv;
+  for (auto _ : state) benchmark::DoNotOptimize(cv.notify_one());
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_NotifyOneEmpty)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_StdNotifyOneEmpty(benchmark::State& state) {
+  std::condition_variable cv;
+  for (auto _ : state) cv.notify_one();
+}
+BENCHMARK(BM_StdNotifyOneEmpty);
+
+// Full sleep/wake round trip through a mutex-based critical section: the
+// headline "overhead versus pthread condition variables" number.
+template <typename CvT>
+void roundtrip_loop(benchmark::State& state) {
+  std::mutex m;
+  CvT cv;
+  bool token = false;
+  std::atomic<bool> stop{false};
+  std::thread partner([&] {
+    for (;;) {
+      std::unique_lock<std::mutex> lk(m);
+      cv.wait(lk, [&] { return token || stop.load(); });
+      if (stop.load()) return;
+      token = false;
+      lk.unlock();
+      cv.notify_one();
+    }
+  });
+  for (auto _ : state) {
+    {
+      std::unique_lock<std::mutex> lk(m);
+      token = true;
+    }
+    cv.notify_one();
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return !token; });
+  }
+  stop.store(true);
+  cv.notify_one();
+  partner.join();
+}
+
+void BM_CvRoundtrip_TmCondVar(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  roundtrip_loop<condition_variable>(state);
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_CvRoundtrip_TmCondVar)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+
+void BM_CvRoundtrip_StdCondVar(benchmark::State& state) {
+  roundtrip_loop<std::condition_variable>(state);
+}
+BENCHMARK(BM_CvRoundtrip_StdCondVar)->UseRealTime();
+
+// Notify from inside a transaction: dequeue + deferred (on-commit) post.
+void BM_TxNotifyDeferredEmpty(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  CondVar cv;
+  for (auto _ : state)
+    tm::atomically([&] { cv.notify_one(); });
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxNotifyDeferredEmpty)->Arg(0)->Arg(1)->Arg(2);
+
+// waiter_count: a read-only queue-walk transaction.
+void BM_WaiterCountEmpty(benchmark::State& state) {
+  CondVar cv;
+  for (auto _ : state) benchmark::DoNotOptimize(cv.waiter_count());
+}
+BENCHMARK(BM_WaiterCountEmpty);
+
+// notify_best on an empty queue (selector-walk transaction).
+void BM_NotifyBestEmpty(benchmark::State& state) {
+  CondVar cv;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cv.notify_best([](std::uint64_t tag) { return tag; }));
+}
+BENCHMARK(BM_NotifyBestEmpty);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Microbenchmarks: BoundedQueue throughput under the three sync policies --
+// the per-operation cost each PARSEC kernel's queues pay in each software
+// system.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "apps/bounded_queue.h"
+
+namespace {
+
+using namespace tmcv::apps;
+
+template <typename Policy>
+void BM_QueuePushPop_SingleThread(benchmark::State& state) {
+  state.SetLabel(Policy::name());
+  BoundedQueue<Policy> q(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.push(1);
+    benchmark::DoNotOptimize(q.pop(v));
+  }
+}
+BENCHMARK(BM_QueuePushPop_SingleThread<PthreadPolicy>);
+BENCHMARK(BM_QueuePushPop_SingleThread<TmCvPolicy>);
+BENCHMARK(BM_QueuePushPop_SingleThread<TxnPolicy>);
+
+template <typename Policy>
+void BM_QueueProducerConsumer(benchmark::State& state) {
+  state.SetLabel(Policy::name());
+  BoundedQueue<Policy> q(16);
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (q.pop(v)) benchmark::DoNotOptimize(v);
+  });
+  std::uint64_t i = 0;
+  for (auto _ : state) q.push(++i);
+  q.close();
+  consumer.join();
+}
+BENCHMARK(BM_QueueProducerConsumer<PthreadPolicy>)->UseRealTime();
+BENCHMARK(BM_QueueProducerConsumer<TmCvPolicy>)->UseRealTime();
+BENCHMARK(BM_QueueProducerConsumer<TxnPolicy>)->UseRealTime();
+
+template <typename Policy>
+void BM_QueueTryOps(benchmark::State& state) {
+  state.SetLabel(Policy::name());
+  BoundedQueue<Policy> q(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.try_push(1);
+    benchmark::DoNotOptimize(q.try_pop(v));
+  }
+}
+BENCHMARK(BM_QueueTryOps<PthreadPolicy>);
+BENCHMARK(BM_QueueTryOps<TmCvPolicy>);
+BENCHMARK(BM_QueueTryOps<TxnPolicy>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

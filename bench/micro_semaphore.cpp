@@ -1,0 +1,87 @@
+// Microbenchmarks: futex semaphore primitives (the per-thread wake
+// mechanism under every condition variable in this library).
+#include <benchmark/benchmark.h>
+
+#include <semaphore.h>
+
+#include <thread>
+
+#include "sync/semaphore.h"
+
+namespace {
+
+using tmcv::BinarySemaphore;
+using tmcv::Semaphore;
+
+void BM_SemaphorePostWait_Uncontended(benchmark::State& state) {
+  Semaphore sem;
+  for (auto _ : state) {
+    sem.post();
+    sem.wait();
+  }
+}
+BENCHMARK(BM_SemaphorePostWait_Uncontended);
+
+void BM_BinarySemaphorePostWait_Uncontended(benchmark::State& state) {
+  BinarySemaphore sem;
+  for (auto _ : state) {
+    sem.post();
+    sem.wait();
+  }
+}
+BENCHMARK(BM_BinarySemaphorePostWait_Uncontended);
+
+// POSIX sem_t as the reference implementation (what the paper's SEMWAIT /
+// SEMPOST would be).
+void BM_PosixSemPostWait_Uncontended(benchmark::State& state) {
+  sem_t sem;
+  sem_init(&sem, 0, 0);
+  for (auto _ : state) {
+    sem_post(&sem);
+    sem_wait(&sem);
+  }
+  sem_destroy(&sem);
+}
+BENCHMARK(BM_PosixSemPostWait_Uncontended);
+
+void BM_SemaphoreTryWaitFailure(benchmark::State& state) {
+  Semaphore sem;
+  for (auto _ : state) benchmark::DoNotOptimize(sem.try_wait());
+}
+BENCHMARK(BM_SemaphoreTryWaitFailure);
+
+// Cross-thread ping-pong: one full sleep/wake handoff per iteration pair --
+// the latency that bounds NOTIFY-to-resume in the condvar.
+void BM_BinarySemaphorePingPong(benchmark::State& state) {
+  BinarySemaphore ping, pong;
+  std::atomic<bool> stop{false};
+  std::thread partner([&] {
+    for (;;) {
+      ping.wait();
+      if (stop.load(std::memory_order_acquire)) return;
+      pong.post();
+    }
+  });
+  for (auto _ : state) {
+    ping.post();
+    pong.wait();
+  }
+  stop.store(true, std::memory_order_release);
+  ping.post();
+  partner.join();
+}
+BENCHMARK(BM_BinarySemaphorePingPong)->UseRealTime();
+
+void BM_SemaphoreBatchPost(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Semaphore sem;
+  for (auto _ : state) {
+    sem.post(n);
+    for (std::uint32_t i = 0; i < n; ++i) sem.wait();
+  }
+}
+BENCHMARK(BM_SemaphoreBatchPost)->Arg(1)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

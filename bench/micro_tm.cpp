@@ -1,0 +1,127 @@
+// Microbenchmarks: TM runtime primitive costs per backend -- the overheads
+// behind "the use of transactions in the implementation" that §5.4 shows to
+// be negligible for condvar-sized (<10 location) transactions.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "tm/api.h"
+#include "tm/var.h"
+
+namespace {
+
+using namespace tmcv::tm;
+
+Backend backend_of(const benchmark::State& state) {
+  switch (state.range(0)) {
+    case 0:
+      return Backend::EagerSTM;
+    case 1:
+      return Backend::LazySTM;
+    default:
+      return Backend::HTM;
+  }
+}
+
+void label(benchmark::State& state) {
+  state.SetLabel(to_string(backend_of(state)));
+}
+
+void BM_TmEmptyTxn(benchmark::State& state) {
+  const Backend b = backend_of(state);
+  label(state);
+  for (auto _ : state) atomically(b, [] {});
+}
+BENCHMARK(BM_TmEmptyTxn)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TmReadOnlyTxn(benchmark::State& state) {
+  const Backend b = backend_of(state);
+  label(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::unique_ptr<var<std::uint64_t>>> vars;
+  for (std::size_t i = 0; i < n; ++i)
+    vars.push_back(std::make_unique<var<std::uint64_t>>(i));
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    atomically(b, [&] {
+      sum = 0;
+      for (std::size_t i = 0; i < n; ++i) sum += vars[i]->load();
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TmReadOnlyTxn)
+    ->ArgsProduct({{0, 1, 2}, {1, 8, 64}});
+
+void BM_TmWriteTxn(benchmark::State& state) {
+  const Backend b = backend_of(state);
+  label(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::unique_ptr<var<std::uint64_t>>> vars;
+  for (std::size_t i = 0; i < n; ++i)
+    vars.push_back(std::make_unique<var<std::uint64_t>>(0));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    ++tick;
+    atomically(b, [&] {
+      for (std::size_t i = 0; i < n; ++i) vars[i]->store(tick);
+    });
+  }
+}
+BENCHMARK(BM_TmWriteTxn)->ArgsProduct({{0, 1, 2}, {1, 8}});
+
+// The condvar-shaped transaction: ~4 reads + ~3 writes (enqueue/dequeue).
+void BM_TmCondvarShapedTxn(benchmark::State& state) {
+  const Backend b = backend_of(state);
+  label(state);
+  var<std::uint64_t> head(0), tail(0), count(0);
+  for (auto _ : state) {
+    atomically(b, [&] {
+      const auto h = head.load();
+      const auto t = tail.load();
+      const auto c = count.load();
+      head.store(h + 1);
+      tail.store(t + 1);
+      count.store(c);
+    });
+  }
+}
+BENCHMARK(BM_TmCondvarShapedTxn)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TmIrrevocable(benchmark::State& state) {
+  var<std::uint64_t> x(0);
+  for (auto _ : state)
+    irrevocably([&] { x.store(x.load() + 1); });
+}
+BENCHMARK(BM_TmIrrevocable);
+
+void BM_TmOnCommitHandler(benchmark::State& state) {
+  const Backend b = backend_of(state);
+  label(state);
+  var<std::uint64_t> x(0);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    atomically(b, [&] {
+      x.store(x.load() + 1);
+      on_commit([&] { ++fired; });
+    });
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_TmOnCommitHandler)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TmNonTxnVarAccess(benchmark::State& state) {
+  var<std::uint64_t> x(1);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += x.load();
+    x.store(sum);
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_TmNonTxnVarAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

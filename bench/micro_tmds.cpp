@@ -1,0 +1,127 @@
+// Microbenchmarks: transactional data structures (tmds) per backend --
+// the cost of fully composable structures versus their lock-based
+// equivalents.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <stack>
+#include <unordered_map>
+
+#include "tm/api.h"
+#include "tmds/tx_hashmap.h"
+#include "tmds/tx_queue.h"
+#include "tmds/tx_stack.h"
+
+namespace {
+
+using namespace tmcv;
+
+tm::Backend backend_of(const benchmark::State& state) {
+  switch (state.range(0)) {
+    case 0:
+      return tm::Backend::EagerSTM;
+    case 1:
+      return tm::Backend::LazySTM;
+    default:
+      return tm::Backend::HTM;
+  }
+}
+
+void BM_TxStackPushPop(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  tmds::TxStack<std::uint64_t> stack;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    stack.push(1);
+    benchmark::DoNotOptimize(stack.pop(v));
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxStackPushPop)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LockedStdStackPushPop(benchmark::State& state) {
+  std::mutex m;
+  std::stack<std::uint64_t> stack;
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> g(m);
+      stack.push(1);
+    }
+    std::lock_guard<std::mutex> g(m);
+    benchmark::DoNotOptimize(stack.top());
+    stack.pop();
+  }
+}
+BENCHMARK(BM_LockedStdStackPushPop);
+
+void BM_TxQueueEnqueueDequeue(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  tmds::TxQueue<std::uint64_t> queue;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    queue.enqueue(1);
+    benchmark::DoNotOptimize(queue.dequeue(v));
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxQueueEnqueueDequeue)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TxHashMapPutGet(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  tmds::TxHashMap<std::uint64_t, std::uint64_t> map(256);
+  std::uint64_t key = 0;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    key = (key + 1) & 1023;
+    map.put(key, key);
+    benchmark::DoNotOptimize(map.get(key, v));
+  }
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxHashMapPutGet)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LockedStdMapPutGet(benchmark::State& state) {
+  std::mutex m;
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    key = (key + 1) & 1023;
+    {
+      std::lock_guard<std::mutex> g(m);
+      map[key] = key;
+    }
+    std::lock_guard<std::mutex> g(m);
+    benchmark::DoNotOptimize(map.find(key));
+  }
+}
+BENCHMARK(BM_LockedStdMapPutGet);
+
+// Composed operation: atomic transfer between two structures -- the case
+// locks cannot express without careful two-lock protocols.
+void BM_TxComposedTransfer(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  tmds::TxQueue<std::uint64_t> a, b;
+  a.enqueue(42);
+  for (auto _ : state) {
+    tm::atomically([&] {
+      std::uint64_t v = 0;
+      if (a.dequeue(v))
+        b.enqueue(v);
+      else if (b.dequeue(v))
+        a.enqueue(v);
+    });
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxComposedTransfer)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// CLI driver for individual PARSEC mini-kernels: run one (kernel, system,
+// backend, threads) cell of the evaluation grid, with TM statistics.
+//
+//   run_kernel <kernel> [--system pthread|tmcv|tm] [--threads N]
+//              [--backend eager|lazy|htm|hybrid] [--scale X] [--trials N]
+//   run_kernel --list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "parsec/runner.h"
+#include "tm/api.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace tmcv;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <kernel> [--system pthread|tmcv|tm] [--threads N]\n"
+               "          [--backend eager|lazy|htm|hybrid] [--scale X]\n"
+               "          [--trials N]\n"
+               "       %s --list\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--list") == 0) {
+    // Bare invocation (e.g. from `for b in build/bench/*; do $b; done`):
+    // list the kernels and point at the flags.
+    std::printf("available kernels:\n");
+    for (const parsec::KernelInfo& k : parsec::kernels())
+      std::printf("  %s\n", k.name.c_str());
+    std::printf("\nrun one with: %s <kernel> --system tm --threads 4 "
+                "--backend htm\n", argv[0]);
+    return 0;
+  }
+
+  const parsec::KernelInfo* kernel = parsec::find_kernel(argv[1]);
+  if (kernel == nullptr) {
+    std::fprintf(stderr, "unknown kernel '%s' (try --list)\n", argv[1]);
+    return 2;
+  }
+
+  parsec::System system = parsec::System::Pthread;
+  tm::Backend backend = tm::Backend::EagerSTM;
+  parsec::KernelConfig cfg;
+  int trials = 3;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--system") {
+      const std::string v = next();
+      if (v == "pthread")
+        system = parsec::System::Pthread;
+      else if (v == "tmcv")
+        system = parsec::System::TmCv;
+      else if (v == "tm")
+        system = parsec::System::Tm;
+      else
+        return usage(argv[0]);
+    } else if (arg == "--backend") {
+      const std::string v = next();
+      if (v == "eager")
+        backend = tm::Backend::EagerSTM;
+      else if (v == "lazy")
+        backend = tm::Backend::LazySTM;
+      else if (v == "htm")
+        backend = tm::Backend::HTM;
+      else if (v == "hybrid")
+        backend = tm::Backend::Hybrid;
+      else
+        return usage(argv[0]);
+    } else if (arg == "--threads") {
+      cfg.threads = std::atoi(next());
+    } else if (arg == "--scale") {
+      cfg.scale = std::atof(next());
+    } else if (arg == "--trials") {
+      trials = std::atoi(next());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  tm::set_default_backend(backend);
+  tm::stats_reset();
+  std::printf("%s / %s / backend=%s / threads=%d / scale=%.2f\n",
+              kernel->name.c_str(), parsec::to_string(system),
+              tm::to_string(backend), cfg.threads, cfg.scale);
+  std::uint64_t checksum = 0;
+  const auto times = run_trials(static_cast<std::size_t>(trials), [&] {
+    const parsec::KernelResult r = kernel->run(system, cfg);
+    checksum = r.checksum;
+    return r.seconds;
+  });
+  const Summary s = summarize(times);
+  std::printf("time: %.4f s (+- %.4f over %d trials)  checksum: %016llx\n",
+              s.mean, s.stddev, trials,
+              static_cast<unsigned long long>(checksum));
+  std::printf("tm:   %s\n", tm::stats_snapshot().to_string().c_str());
+  tm::set_default_backend(tm::Backend::EagerSTM);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Soak test: a mixed workload hammering every subsystem at once --
+// condition variables under locks and transactions, timed waits, retry,
+// transactional containers, irrevocable sections, and all TM backends --
+// for a configurable duration.  Release-validation tool; the default two
+// seconds keep the full bench sweep fast.
+//
+//   soak [--seconds N] [--threads N]
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/legacy_cv.h"
+#include "tm/api.h"
+#include "tm/var.h"
+#include "tmds/tx_hashmap.h"
+#include "tmds/tx_queue.h"
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace {
+
+using namespace tmcv;
+
+struct Shared {
+  tmds::TxQueue<std::uint64_t> queue;
+  tmds::TxHashMap<std::uint64_t, std::uint64_t> map{128};
+  tx_condition_variable cv;
+  condition_variable lock_cv;
+  std::mutex m;
+  tm::var<long> credits{0};
+  long lock_guarded_counter = 0;  // protected by m
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+};
+
+void worker(Shared& s, int id) {
+  Xoshiro256 rng(0x50AC + static_cast<std::uint64_t>(id));
+  const tm::Backend backends[] = {tm::Backend::EagerSTM,
+                                  tm::Backend::LazySTM, tm::Backend::HTM,
+                                  tm::Backend::Hybrid};
+  while (!s.stop.load(std::memory_order_relaxed)) {
+    const auto dice = rng.next_below(100);
+    const tm::Backend b = backends[rng.next_below(4)];
+    if (dice < 30) {
+      // Produce: credit + enqueue + notify, one transaction.
+      tm::atomically(b, [&] {
+        s.credits.store(s.credits.load() + 1);
+        s.queue.enqueue(rng.next());
+        s.cv.notify_one();
+      });
+    } else if (dice < 55) {
+      // Consume with a timed transactional wait.
+      bool got = false;
+      tm::atomically(b, [&] {
+        got = false;
+        if (s.credits.load() > 0) {
+          s.credits.store(s.credits.load() - 1);
+          std::uint64_t v = 0;
+          (void)s.queue.dequeue(v);
+          got = true;
+          return;
+        }
+        tm::TxnSync sync;
+        // Timed transactional wait: the continuation (nothing) resumes
+        // irrevocably and the enclosing atomically commits it.
+        (void)s.cv.raw().wait_for(sync, std::chrono::microseconds(200));
+      });
+      (void)got;
+    } else if (dice < 70) {
+      // Hash-map churn.
+      const std::uint64_t k = rng.next_below(256);
+      tm::atomically(b, [&] {
+        std::uint64_t v = 0;
+        if (s.map.get(k, v))
+          s.map.put(k, v + 1);
+        else
+          s.map.put(k, 1);
+      });
+      if (rng.next_below(8) == 0) tm::atomically(b, [&] { s.map.erase(k); });
+    } else if (dice < 80) {
+      // Harris retry on a predicate another thread flips constantly.
+      tm::atomically(b, [&] {
+        if (s.credits.load() < 0) tm::retry_wait();  // never true: no park
+      });
+    } else if (dice < 92) {
+      // Lock-based critical section + condvar interplay.
+      std::unique_lock<std::mutex> lk(s.m);
+      ++s.lock_guarded_counter;
+      if (s.lock_guarded_counter % 64 == 0) {
+        lk.unlock();
+        s.lock_cv.notify_all();
+      } else if (s.lock_guarded_counter % 97 == 0) {
+        (void)s.lock_cv.wait_for(lk, std::chrono::microseconds(100));
+      }
+    } else {
+      // Irrevocable section.
+      tm::irrevocably([&] { s.credits.store(s.credits.load()); });
+    }
+    s.ops.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  int threads = 6;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+      seconds = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+  }
+  Shared shared;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t)
+    pool.emplace_back([&shared, t] { worker(shared, t); });
+  Stopwatch sw;
+  while (sw.elapsed_seconds() < seconds)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  shared.stop.store(true);
+  // Wake anything parked.
+  std::atomic<bool> joined{false};
+  std::thread drain([&] {
+    while (!joined.load()) {
+      shared.cv.notify_all();
+      shared.lock_cv.notify_all();
+      tm::atomically([&] {
+        shared.credits.store(shared.credits.load());  // bump commit signal
+        shared.queue.enqueue(0);
+        std::uint64_t v = 0;
+        (void)shared.queue.dequeue(v);
+      });
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : pool) t.join();
+  joined.store(true);
+  drain.join();
+  std::printf("soak: %llu mixed ops across %d threads in %.1f s (%.0f "
+              "kops/s); tm: %s\n",
+              static_cast<unsigned long long>(shared.ops.load()), threads,
+              seconds, shared.ops.load() / seconds / 1e3,
+              tm::stats_snapshot().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// dedup-style pipeline demo: a 5-stage compression pipeline with bounded
+// queues, a shared dedup table, and a serial in-order output stage --
+// fully transactionalized (TMParsec+TMCondVar), including the relaxed
+// (irrevocable) I/O transaction that the paper's §5.4 identifies as the
+// scaling bottleneck.
+//
+// Build & run:  cmake --build build && ./build/examples/pipeline_demo
+#include <cstdio>
+#include <vector>
+
+#include "apps/ordered_output.h"
+#include "apps/pipeline.h"
+#include "parsec/workload.h"
+#include "tm/api.h"
+#include "util/timing.h"
+
+namespace {
+
+using Policy = tmcv::apps::TxnPolicy;  // every critical section is a txn
+
+struct Stats {
+  std::atomic<std::uint64_t> emitted{0};
+  std::atomic<std::uint64_t> dups{0};
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kChunks = 200;
+  constexpr std::size_t kBuckets = 32;
+
+  typename Policy::Region hash_region;
+  std::vector<std::unique_ptr<Policy::Cell<std::uint64_t>>> buckets;
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    buckets.emplace_back(std::make_unique<Policy::Cell<std::uint64_t>>());
+  tmcv::apps::ReorderBuffer<Policy> reorder(256);
+  Stats stats;
+
+  auto seq_of = [](std::uint64_t item) { return item >> 32; };
+  auto payload_of = [](std::uint64_t item) { return item & 0xffffffffull; };
+
+  tmcv::Stopwatch sw;
+  {
+    tmcv::apps::Pipeline<Policy>::Config cfg;
+    cfg.stages = 5;
+    cfg.workers_per_stage = 2;
+    cfg.workers_last_stage = 1;  // the serial output thread
+    cfg.queue_capacity = 8;
+    tmcv::apps::Pipeline<Policy> pipe(
+        cfg,
+        [&](std::size_t stage, std::uint64_t item) {
+          std::uint64_t payload =
+              payload_of(item) ^
+              (tmcv::parsec::synth_work(stage * 7919 + payload_of(item), 2000) &
+               0xffffffffull);
+          if (stage == 2) {
+            // Dedup probe: one small transaction against the shared table.
+            const std::size_t b = payload % kBuckets;
+            const bool dup = Policy::critical(hash_region, [&] {
+              const auto seen = buckets[b]->get();
+              buckets[b]->set(seen + 1);
+              return seen > 0;
+            });
+            if (dup) stats.dups.fetch_add(1);
+          }
+          return (seq_of(item) << 32) | payload;
+        },
+        [&](std::uint64_t item) {
+          reorder.insert(seq_of(item), payload_of(item),
+                         [&](std::uint64_t, std::uint64_t) {
+                           // The "I/O" -- inside an irrevocable transaction.
+                           stats.emitted.fetch_add(1);
+                         });
+        });
+    for (int c = 0; c < kChunks; ++c)
+      pipe.feed((static_cast<std::uint64_t>(c) << 32) |
+                (static_cast<std::uint64_t>(c) * 2654435761u & 0xffffffffu));
+    pipe.finish();
+  }
+
+  std::printf("dedup-style pipeline (fully transactional):\n");
+  std::printf("  chunks emitted (in order): %llu / %d\n",
+              static_cast<unsigned long long>(stats.emitted.load()), kChunks);
+  std::printf("  duplicate chunks found:    %llu\n",
+              static_cast<unsigned long long>(stats.dups.load()));
+  std::printf("  elapsed:                   %.1f ms\n",
+              sw.elapsed_seconds() * 1e3);
+  const auto tm_stats = tmcv::tm::stats_snapshot();
+  std::printf("  TM activity: %s\n", tm_stats.to_string().c_str());
+  return 0;
+}

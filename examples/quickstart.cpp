@@ -1,0 +1,109 @@
+// Quickstart: the transaction-friendly condition variable in its two
+// habitats.
+//
+//   1. Lock-based code -- tmcv::condition_variable is a drop-in for
+//      std::condition_variable (same wait/notify shapes, minus spurious
+//      wake-ups).
+//   2. Transactional code -- the *same* condition variable type also works
+//      inside tm::atomically, where std::condition_variable cannot be used
+//      at all; waits split the transaction and notifies defer to commit.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "core/legacy_cv.h"
+#include "tm/api.h"
+#include "tm/var.h"
+
+namespace {
+
+// --- Part 1: classic lock-based producer/consumer ---------------------
+
+void lock_based_demo() {
+  std::printf("[locks] producer/consumer with tmcv::condition_variable\n");
+  std::mutex m;
+  tmcv::condition_variable cv;
+  int item = 0;
+  bool has_item = false;
+
+  std::thread consumer([&] {
+    for (int want = 1; want <= 3; ++want) {
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return has_item; });  // familiar interface
+      std::printf("[locks]   consumed item %d\n", item);
+      has_item = false;
+      lock.unlock();
+      cv.notify_one();
+    }
+  });
+  for (int i = 1; i <= 3; ++i) {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return !has_item; });
+    item = i;
+    has_item = true;
+    lock.unlock();
+    cv.notify_one();
+  }
+  consumer.join();
+}
+
+// --- Part 2: the same shape, but with transactions --------------------
+
+void transactional_demo() {
+  std::printf("[tm]    producer/consumer inside tm::atomically\n");
+  tmcv::tx_condition_variable cv;
+  tmcv::tm::var<int> item(0);
+  tmcv::tm::var<bool> has_item(false);
+
+  std::thread consumer([&] {
+    for (int want = 1; want <= 3; ++want) {
+      // The refactored wait loop: each iteration is one transaction; a
+      // false predicate enqueues and splits the transaction at the WAIT.
+      for (;;) {
+        bool got = false;
+        tmcv::tm::atomically([&] {
+          got = false;
+          if (has_item.load()) {
+            std::printf("[tm]      consumed item %d\n", item.load());
+            has_item.store(false);
+            cv.notify_one();  // deferred until this transaction commits
+            got = true;
+            return;
+          }
+          cv.wait_final_tx();
+        });
+        if (got) break;
+      }
+    }
+  });
+  for (int i = 1; i <= 3; ++i) {
+    for (;;) {
+      bool placed = false;
+      tmcv::tm::atomically([&] {
+        placed = false;
+        if (!has_item.load()) {
+          item.store(i);
+          has_item.store(true);
+          cv.notify_one();
+          placed = true;
+          return;
+        }
+        cv.wait_final_tx();
+      });
+      if (placed) break;
+    }
+  }
+  consumer.join();
+}
+
+}  // namespace
+
+int main() {
+  lock_based_demo();
+  transactional_demo();
+  std::printf("done: one condition variable implementation served both "
+              "locks and transactions.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Bounded multi-producer/multi-consumer FIFO queue with close semantics,
+// templated on a SyncPolicy.  The condition-synchronization skeleton of
+// ferret's and dedup's per-stage job queues (§5.2).
+//
+// T must be trivially copyable and at most 8 bytes (it lives in policy
+// cells so the TxnPolicy instantiation is transactional end-to-end).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/sync_policy.h"
+#include "util/assert.h"
+
+namespace tmcv::apps {
+
+template <typename Policy, typename T = std::uint64_t>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    TMCV_ASSERT(capacity > 0);
+  }
+
+  // Blocking push; returns false iff the queue was closed.
+  bool push(T value) {
+    bool pushed = false;
+    Policy::execute_or_wait(region_, not_full_, [&] {
+      if (closed_.get()) {
+        pushed = false;
+        return true;  // closed: stop waiting, report failure
+      }
+      const std::size_t count = count_.get();
+      if (count == capacity_) return false;  // full: wait
+      const std::size_t tail = tail_.get();
+      slots_[tail].set(value);
+      tail_.set((tail + 1) % capacity_);
+      count_.set(count + 1);
+      pushed = true;
+      return true;
+    });
+    if (pushed) Policy::notify_one(not_empty_);
+    return pushed;
+  }
+
+  // Blocking pop; returns false iff the queue is closed AND drained.
+  bool pop(T& out) {
+    bool popped = false;
+    Policy::execute_or_wait(region_, not_empty_, [&] {
+      const std::size_t count = count_.get();
+      if (count == 0) {
+        if (closed_.get()) {
+          popped = false;
+          return true;  // closed and empty: stop waiting
+        }
+        return false;  // empty: wait
+      }
+      const std::size_t head = head_.get();
+      out = slots_[head].get();
+      head_.set((head + 1) % capacity_);
+      count_.set(count - 1);
+      popped = true;
+      return true;
+    });
+    if (popped) Policy::notify_one(not_full_);
+    return popped;
+  }
+
+  // Non-blocking variants.
+  bool try_push(T value) {
+    const bool pushed = Policy::critical(region_, [&] {
+      if (closed_.get() || count_.get() == capacity_) return false;
+      const std::size_t tail = tail_.get();
+      slots_[tail].set(value);
+      tail_.set((tail + 1) % capacity_);
+      count_.set(count_.get() + 1);
+      return true;
+    });
+    if (pushed) Policy::notify_one(not_empty_);
+    return pushed;
+  }
+
+  bool try_pop(T& out) {
+    const bool popped = Policy::critical(region_, [&] {
+      if (count_.get() == 0) return false;
+      const std::size_t head = head_.get();
+      out = slots_[head].get();
+      head_.set((head + 1) % capacity_);
+      count_.set(count_.get() - 1);
+      return true;
+    });
+    if (popped) Policy::notify_one(not_full_);
+    return popped;
+  }
+
+  // Close the queue: pending pops drain remaining items then fail; pushes
+  // fail immediately.  Idempotent.
+  void close() {
+    Policy::critical(region_, [&] { closed_.set(true); });
+    Policy::notify_all(not_empty_);
+    Policy::notify_all(not_full_);
+  }
+
+  [[nodiscard]] std::size_t size() {
+    return Policy::critical(region_, [&] { return count_.get(); });
+  }
+
+  [[nodiscard]] bool closed() {
+    return Policy::critical(region_, [&] { return closed_.get(); });
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  typename Policy::Region region_;
+  typename Policy::CondVar not_empty_;
+  typename Policy::CondVar not_full_;
+  std::vector<typename Policy::template Cell<T>> slots_;
+  typename Policy::template Cell<std::size_t> head_{};
+  typename Policy::template Cell<std::size_t> tail_{};
+  typename Policy::template Cell<std::size_t> count_{};
+  typename Policy::template Cell<bool> closed_{};
+};
+
+}  // namespace tmcv::apps

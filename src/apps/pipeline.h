@@ -1,0 +1,107 @@
+// Multi-stage pipeline with a bounded queue between stages and a worker
+// pool per stage: the skeleton of ferret (6 stages) and dedup (5 stages)
+// (§5.2).  Items are 64-bit payloads; each stage maps an item to an output
+// item via a stage function, and the final stage's outputs go to a sink.
+//
+// Shutdown is cascaded: when a stage's input queue is closed and drained,
+// its workers exit, and the *last* worker out closes the next stage's
+// queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/bounded_queue.h"
+#include "apps/sync_policy.h"
+#include "util/assert.h"
+
+namespace tmcv::apps {
+
+template <typename Policy>
+class Pipeline {
+ public:
+  using Item = std::uint64_t;
+  // Stage function: stage index, input item -> output item.
+  using StageFn = std::function<Item(std::size_t, Item)>;
+  using SinkFn = std::function<void(Item)>;
+
+  struct Config {
+    std::size_t stages = 3;
+    std::size_t workers_per_stage = 1;
+    std::size_t queue_capacity = 64;
+    // 0 = same as workers_per_stage.  dedup uses 1: its output stage is a
+    // single serial thread.
+    std::size_t workers_last_stage = 0;
+
+    [[nodiscard]] std::size_t workers_for(std::size_t stage) const noexcept {
+      if (stage + 1 == stages && workers_last_stage != 0)
+        return workers_last_stage;
+      return workers_per_stage;
+    }
+  };
+
+  Pipeline(Config config, StageFn stage_fn, SinkFn sink_fn)
+      : cfg_(config),
+        stage_fn_(std::move(stage_fn)),
+        sink_fn_(std::move(sink_fn)) {
+    TMCV_ASSERT(cfg_.stages >= 1);
+    queues_.reserve(cfg_.stages);
+    for (std::size_t s = 0; s < cfg_.stages; ++s)
+      queues_.emplace_back(
+          std::make_unique<BoundedQueue<Policy, Item>>(cfg_.queue_capacity));
+    live_workers_.reserve(cfg_.stages);
+    for (std::size_t s = 0; s < cfg_.stages; ++s)
+      live_workers_.emplace_back(
+          std::make_unique<std::atomic<std::size_t>>(cfg_.workers_for(s)));
+    for (std::size_t s = 0; s < cfg_.stages; ++s)
+      for (std::size_t w = 0; w < cfg_.workers_for(s); ++w)
+        threads_.emplace_back([this, s] { run_stage(s); });
+  }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  ~Pipeline() { finish(); }
+
+  // Feed one item into the first stage (blocks when the queue is full).
+  bool feed(Item item) { return queues_[0]->push(item); }
+
+  // Close the input and wait for every in-flight item to reach the sink.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    queues_[0]->close();
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+
+ private:
+  void run_stage(std::size_t s) {
+    Item item{};
+    while (queues_[s]->pop(item)) {
+      const Item out = stage_fn_(s, item);
+      if (s + 1 < cfg_.stages)
+        queues_[s + 1]->push(out);
+      else
+        sink_fn_(out);
+    }
+    // Input closed and drained: the last worker of this stage closes the
+    // next stage's input.
+    if (live_workers_[s]->fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        s + 1 < cfg_.stages)
+      queues_[s + 1]->close();
+  }
+
+  Config cfg_;
+  StageFn stage_fn_;
+  SinkFn sink_fn_;
+  std::vector<std::unique_ptr<BoundedQueue<Policy, Item>>> queues_;
+  std::vector<std::unique_ptr<std::atomic<std::size_t>>> live_workers_;
+  std::vector<std::thread> threads_;
+  bool finished_ = false;
+};
+
+}  // namespace tmcv::apps

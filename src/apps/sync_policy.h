@@ -1,0 +1,182 @@
+// Synchronization policies: the three software systems of the paper's
+// evaluation (§5.3), expressed as interchangeable template policies so every
+// building block and PARSEC kernel compiles once per system.
+//
+//   PthreadPolicy -- Parsec+pthreadCondVar: mutex critical sections,
+//                    std::condition_variable.  The baseline.
+//   TmCvPolicy    -- Parsec+TMCondVar: mutex critical sections, but our
+//                    transaction-friendly condition variables (whose queues
+//                    are protected by transactions internally).
+//   TxnPolicy     -- TMParsec+TMCondVar: every critical section replaced by
+//                    a transaction; shared data lives in tm::var cells;
+//                    waits are manually refactored (transaction split at
+//                    WAIT), exactly like the paper's PARSEC port.
+//
+// Policy surface:
+//   Region           -- what a critical section locks (mutex / nothing)
+//   CondVar          -- the condition-synchronization object
+//   Cell<T>          -- shared data cell, valid inside critical sections
+//   critical(r, fn)        -- run fn as a critical section, return its value
+//   relaxed(r, fn)         -- critical section allowed to do I/O
+//                             (irrevocable transaction under TxnPolicy)
+//   execute_or_wait(r, cv, fn)
+//                    -- the Mesa wait loop: run fn in a critical section;
+//                       if it returns false, wait on cv (splitting the
+//                       section) and retry until it returns true
+//   notify_one/notify_all(cv)
+//                    -- callable from inside or outside critical sections
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+
+#include "core/condvar.h"
+#include "core/legacy_cv.h"
+#include "tm/api.h"
+#include "tm/txn_sync.h"
+#include "tm/var.h"
+
+namespace tmcv::apps {
+
+// Plain cell: protection comes from the enclosing mutex.
+template <typename T>
+class PlainCell {
+ public:
+  constexpr PlainCell() noexcept : value_{} {}
+  explicit constexpr PlainCell(T initial) noexcept : value_(initial) {}
+  [[nodiscard]] T get() const noexcept { return value_; }
+  void set(T v) noexcept { value_ = v; }
+
+ private:
+  T value_;
+};
+
+// Transactional cell adapter with the same get/set spelling.
+template <typename T>
+class TxCell {
+ public:
+  constexpr TxCell() noexcept = default;
+  explicit TxCell(T initial) noexcept : value_(initial) {}
+  [[nodiscard]] T get() const { return value_.load(); }
+  void set(T v) { value_.store(v); }
+
+ private:
+  tm::var<T> value_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct PthreadPolicy {
+  static constexpr const char* name() noexcept { return "pthread"; }
+  static constexpr bool kTransactional = false;
+
+  using Region = std::mutex;
+  using CondVar = std::condition_variable;
+  template <typename T>
+  using Cell = PlainCell<T>;
+
+  template <typename F>
+  static auto critical(Region& m, F&& fn) {
+    std::lock_guard<Region> guard(m);
+    return fn();
+  }
+
+  template <typename F>
+  static auto relaxed(Region& m, F&& fn) {
+    return critical(m, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  static void execute_or_wait(Region& m, CondVar& cv, F&& fn) {
+    std::unique_lock<Region> lock(m);
+    while (!fn()) cv.wait(lock);
+  }
+
+  static void notify_one(CondVar& cv) { cv.notify_one(); }
+  static void notify_all(CondVar& cv) { cv.notify_all(); }
+};
+
+// ---------------------------------------------------------------------------
+
+struct TmCvPolicy {
+  static constexpr const char* name() noexcept { return "tmcv"; }
+  static constexpr bool kTransactional = false;
+
+  using Region = std::mutex;
+  using CondVar = tmcv::condition_variable;
+  template <typename T>
+  using Cell = PlainCell<T>;
+
+  template <typename F>
+  static auto critical(Region& m, F&& fn) {
+    std::lock_guard<Region> guard(m);
+    return fn();
+  }
+
+  template <typename F>
+  static auto relaxed(Region& m, F&& fn) {
+    return critical(m, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  static void execute_or_wait(Region& m, CondVar& cv, F&& fn) {
+    std::unique_lock<Region> lock(m);
+    while (!fn()) cv.wait(lock);  // no spurious wakeups; loop handles
+                                  // oblivious ones under notify_all
+  }
+
+  static void notify_one(CondVar& cv) { cv.notify_one(); }
+  static void notify_all(CondVar& cv) { cv.notify_all(); }
+};
+
+// ---------------------------------------------------------------------------
+
+struct TxnPolicy {
+  static constexpr const char* name() noexcept { return "tm"; }
+  static constexpr bool kTransactional = true;
+
+  // Transactions need no named region; the empty struct keeps signatures
+  // uniform (and marks where a lock used to be).
+  struct Region {};
+  using CondVar = tmcv::CondVar;
+  template <typename T>
+  using Cell = TxCell<T>;
+
+  template <typename F>
+  static auto critical(Region&, F&& fn) {
+    return tm::atomically(std::forward<F>(fn));
+  }
+
+  // Relaxed transaction: irrevocable, may perform I/O; serializes against
+  // all other transactions (the paper's dedup anomaly, §5.4).
+  template <typename F>
+  static auto relaxed(Region&, F&& fn) {
+    return tm::irrevocably(std::forward<F>(fn));
+  }
+
+  // The manual refactoring of §5.3: each iteration is one transaction; a
+  // false predicate enqueues and splits at the WAIT, and the retry runs a
+  // fresh transaction.  Predicate check and enqueue are atomic, so no
+  // notify can fall between them.
+  template <typename F>
+  static void execute_or_wait(Region&, CondVar& cv, F&& fn) {
+    for (;;) {
+      bool satisfied = false;
+      tm::atomically([&] {
+        satisfied = fn();
+        if (!satisfied) {
+          tm::TxnSync sync;
+          cv.wait_final(sync);
+        }
+      });
+      if (satisfied) return;
+    }
+  }
+
+  static void notify_one(CondVar& cv) { cv.notify_one(); }
+  static void notify_all(CondVar& cv) { cv.notify_all(); }
+};
+
+}  // namespace tmcv::apps

@@ -1,0 +1,90 @@
+// Persistent worker pool fed by a bounded job queue: bodytrack's thread pool
+// and the per-stage pools of ferret/dedup (§5.2).
+//
+// Jobs are 64-bit payloads dispatched to a fixed worker function (supplied
+// at construction); this keeps the queue cells transactional under
+// TxnPolicy.  A completion latch supports wait_idle().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "apps/bounded_queue.h"
+#include "apps/sync_policy.h"
+
+namespace tmcv::apps {
+
+template <typename Policy>
+class ThreadPool {
+ public:
+  using Job = std::uint64_t;
+  using Worker = std::function<void(Job)>;
+
+  ThreadPool(std::size_t threads, std::size_t queue_capacity, Worker worker)
+      : worker_(std::move(worker)), jobs_(queue_capacity) {
+    threads_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      threads_.emplace_back([this] { run(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { shutdown(); }
+
+  // Enqueue a job (blocks while the queue is full).  Returns false after
+  // shutdown.
+  bool submit(Job job) {
+    Policy::critical(region_, [&] { outstanding_.set(outstanding_.get() + 1); });
+    if (jobs_.push(job)) return true;
+    // Queue closed: roll the count back.
+    const bool idle = Policy::critical(region_, [&] {
+      outstanding_.set(outstanding_.get() - 1);
+      return outstanding_.get() == 0;
+    });
+    if (idle) Policy::notify_all(idle_cv_);
+    return false;
+  }
+
+  // Block until every submitted job has finished executing.
+  void wait_idle() {
+    Policy::execute_or_wait(region_, idle_cv_,
+                            [&] { return outstanding_.get() == 0; });
+  }
+
+  // Stop accepting jobs, drain the queue, and join the workers.
+  void shutdown() {
+    jobs_.close();
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+    threads_.clear();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  void run() {
+    Job job{};
+    while (jobs_.pop(job)) {
+      worker_(job);
+      const bool idle = Policy::critical(region_, [&] {
+        outstanding_.set(outstanding_.get() - 1);
+        return outstanding_.get() == 0;
+      });
+      if (idle) Policy::notify_all(idle_cv_);
+    }
+  }
+
+  Worker worker_;
+  BoundedQueue<Policy, Job> jobs_;
+  typename Policy::Region region_;
+  typename Policy::CondVar idle_cv_;
+  typename Policy::template Cell<std::size_t> outstanding_{};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tmcv::apps

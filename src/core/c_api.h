@@ -1,0 +1,43 @@
+/* C-compatible interface to the transaction-friendly condition variables:
+ * a drop-in pattern for pthread_cond_t users (the paper's abstract promises
+ * compatibility with "existing C/C++ interfaces for condition
+ * synchronization").
+ *
+ * Semantics match pthread_cond_* with one strengthening: tmcv_cond_wait
+ * never returns spuriously (§3.4).  All functions return 0 on success.
+ * Signals/broadcasts issued from inside a transaction (when the calling
+ * thread is running under tm::atomically in C++ callers) are deferred to
+ * that transaction's commit, like the C++ API.
+ */
+#pragma once
+
+#include <pthread.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct tmcv_cond tmcv_cond_t;
+
+/* Allocate / free a condition variable.  Destroying one with waiters is
+ * undefined behaviour (asserted in debug builds), as with pthreads. */
+tmcv_cond_t* tmcv_cond_create(void);
+void tmcv_cond_destroy(tmcv_cond_t* cond);
+
+/* Atomically release `mutex` and sleep until signaled, then re-acquire
+ * `mutex` before returning.  The mutex must be held by the caller. */
+int tmcv_cond_wait(tmcv_cond_t* cond, pthread_mutex_t* mutex);
+
+/* As tmcv_cond_wait, bounded by `timeout_ms` milliseconds.  Returns 0 when
+ * signaled, ETIMEDOUT on timeout (mutex re-acquired either way). */
+int tmcv_cond_timedwait_ms(tmcv_cond_t* cond, pthread_mutex_t* mutex,
+                           unsigned timeout_ms);
+
+/* Wake one / all waiting threads.  Safe from any context, including naked
+ * (mutex-less) calls. */
+int tmcv_cond_signal(tmcv_cond_t* cond);
+int tmcv_cond_broadcast(tmcv_cond_t* cond);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif

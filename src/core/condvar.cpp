@@ -1,0 +1,144 @@
+#include "core/condvar.h"
+
+namespace tmcv {
+
+namespace detail {
+
+WaitNode& my_wait_node() noexcept {
+  thread_local WaitNode node;
+  return node;
+}
+
+}  // namespace detail
+
+void CondVar::enqueue_self(detail::WaitNode& node) {
+  tm::atomically([&] {
+    // The closure may re-execute after an abort; re-assert line 1's state
+    // (plain store is fine: the node is still private).
+    node.next.store_plain(nullptr);
+    detail::WaitNode* tail = tail_.load();
+    if (tail == nullptr) {
+      TMCV_DEBUG_ASSERT(head_.load() == nullptr);
+      head_.store(&node);
+      tail_.store(&node);
+    } else {
+      tail->next.store(&node);
+      tail_.store(&node);
+    }
+  });
+}
+
+void CondVar::unlink(detail::WaitNode* prev, detail::WaitNode* node) {
+  detail::WaitNode* next = node->next.load();
+  if (prev == nullptr)
+    head_.store(next);
+  else
+    prev->next.store(next);
+  if (tail_.load() == node) tail_.store(prev);
+}
+
+bool CondVar::try_remove_self(detail::WaitNode& node) {
+  bool removed = false;
+  tm::atomically([&] {
+    removed = false;
+    detail::WaitNode* prev = nullptr;
+    for (detail::WaitNode* cur = head_.load(); cur != nullptr;
+         cur = cur->next.load()) {
+      if (cur == &node) {
+        unlink(prev, cur);
+        removed = true;
+        return;
+      }
+      prev = cur;
+    }
+  });
+  return removed;
+}
+
+bool CondVar::notify_one() {
+  bool notified = false;
+  tm::atomically([&] {
+    notified = false;
+    detail::WaitNode* sn = head_.load();
+    if (sn == nullptr) return;  // empty queue: the notify is lost, by spec
+    detail::WaitNode* victim = sn;
+    detail::WaitNode* prev = nullptr;
+    if (policy_ == WakePolicy::LIFO) {
+      // Wake the most recent waiter: walk to the tail.  Queues are short
+      // (bounded by thread count), so the walk is cheap; keeping the list
+      // singly linked preserves Algorithm 3's structure.
+      while (detail::WaitNode* nx = victim->next.load()) {
+        prev = victim;
+        victim = nx;
+      }
+    }
+    unlink(prev, victim);
+    // Line 9: wake the thread when the outermost transaction commits.  If
+    // this transaction ultimately aborts, the handler is discarded and no
+    // wake-up escapes (§3.2).
+    tm::on_commit([victim] { victim->sem.post(); });
+    notified = true;
+  });
+  count_notify(notify_one_calls_, notified ? 1 : 0);
+  return notified;
+}
+
+std::size_t CondVar::notify_all() {
+  std::size_t count = 0;
+  tm::atomically([&] {
+    count = 0;
+    detail::WaitNode* sn = head_.load();
+    if (sn == nullptr) return;
+    head_.store(nullptr);
+    tail_.store(nullptr);
+    // Accesses to next fields stay inside the transaction (§3.3): the nodes
+    // are reachable only because their owners' enqueue transactions
+    // committed and no intervening notify removed them, so no owner can be
+    // at WAIT line 1 and no race with its plain store is possible.
+    while (sn != nullptr) {
+      detail::WaitNode* node = sn;
+      sn = sn->next.load();
+      tm::on_commit([node] { node->sem.post(); });
+      ++count;
+    }
+  });
+  count_notify(notify_all_calls_, count);
+  return count;
+}
+
+std::size_t CondVar::notify_n(std::size_t n) {
+  std::size_t count = 0;
+  tm::atomically([&] {
+    count = 0;
+    while (count < n) {
+      detail::WaitNode* sn = head_.load();
+      if (sn == nullptr) break;
+      detail::WaitNode* victim = sn;
+      detail::WaitNode* prev = nullptr;
+      if (policy_ == WakePolicy::LIFO) {
+        while (detail::WaitNode* nx = victim->next.load()) {
+          prev = victim;
+          victim = nx;
+        }
+      }
+      unlink(prev, victim);
+      tm::on_commit([victim] { victim->sem.post(); });
+      ++count;
+    }
+  });
+  count_notify(notify_all_calls_, count);
+  return count;
+}
+
+std::size_t CondVar::waiter_count() const {
+  std::size_t count = 0;
+  tm::atomically([&] {
+    count = 0;
+    for (detail::WaitNode* cur = head_.load(); cur != nullptr;
+         cur = cur->next.load())
+      ++count;
+  });
+  return count;
+}
+
+}  // namespace tmcv

@@ -1,0 +1,337 @@
+// Transaction-friendly condition variables (the paper's contribution).
+//
+// Each condition variable is a queue, in user space, of per-thread binary
+// semaphores (Algorithm 3).  The queue is protected by transactions, so WAIT
+// and NOTIFY may be called from any mix of lock-based critical sections,
+// transactions, and unsynchronized code without racing (§3.2).  Semaphore
+// operations never execute inside an active transaction: WAIT ends the
+// caller's synchronization block before sleeping, and NOTIFY defers its
+// posts to on-commit handlers.
+//
+// Guarantees (§3.4):
+//   * No spurious wake-ups: a WAIT returns only after a matching NOTIFY
+//     dequeued this thread's node and posted its semaphore.
+//   * Mesa-style deterministic wake-ups with pluggable selection: FIFO
+//     (default), LIFO, or predicate-driven notify_best.
+//   * Immune to lost wake-ups: enqueue and block are not atomic, but the
+//     semaphore's token makes a post that lands between them stick.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "sync/semaphore.h"
+#include "sync/sync_context.h"
+#include "tm/api.h"
+#include "tm/txn_sync.h"
+#include "tm/var.h"
+#include "util/assert.h"
+
+namespace tmcv {
+
+// Which waiting thread a notify_one selects (§3.4: the user-space set admits
+// arbitrary policies; FIFO matches Hoare's queue, LIFO favours cache warmth
+// per Scherer & Scott).
+enum class WakePolicy : std::uint8_t { FIFO, LIFO };
+
+// Per-condvar observability counters.  Maintained with relaxed atomics
+// *outside* the queue transactions (a counter inside the transaction would
+// manufacture conflicts between otherwise-disjoint operations), so values
+// are monotonic and eventually consistent rather than a linearizable
+// snapshot -- the standard design for hot-path metrics.
+struct CondVarStats {
+  std::uint64_t waits = 0;          // completed waits (all flavours)
+  std::uint64_t timed_waits = 0;    // wait_for calls
+  std::uint64_t timeouts = 0;       // wait_for calls that timed out
+  std::uint64_t notify_one_calls = 0;
+  std::uint64_t notify_all_calls = 0;
+  std::uint64_t notify_best_calls = 0;
+  std::uint64_t threads_woken = 0;  // waiters selected across all notifies
+  std::uint64_t lost_notifies = 0;  // notifies that found an empty queue
+};
+
+namespace detail {
+
+// One queue node per thread (Algorithm 3).  A thread waits on at most one
+// condition variable at a time (it is blocked while queued), so a single
+// thread_local node suffices -- this is the insight the paper credits to
+// language-level thread locals versus Birrell's per-condvar semaphores.
+struct WaitNode {
+  BinarySemaphore sem;
+  tm::var<WaitNode*> next{nullptr};
+  tm::var<std::uint64_t> tag{0};  // notify_best discriminator
+  bool enqueued = false;          // owner-only sanity flag
+};
+
+WaitNode& my_wait_node() noexcept;
+
+}  // namespace detail
+
+class CondVar {
+ public:
+  explicit CondVar(WakePolicy policy = WakePolicy::FIFO) noexcept
+      : policy_(policy) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  ~CondVar() {
+    TMCV_ASSERT_MSG(head_.load_plain() == nullptr,
+                    "condition variable destroyed with waiting threads");
+  }
+
+  // ---- WAIT, continuation-passing style (Algorithm 4) ----
+  //
+  // Must be the last shared-state action of the enclosing synchronized
+  // block.  `sync` describes the caller's context; `cont` runs afterwards
+  // under an equivalent context (a fresh transaction with its own retry
+  // loop, or the re-acquired locks).  `tag` is visible to notify_best.
+  template <typename Cont>
+  void wait(SyncContext& sync, Cont&& cont, std::uint64_t tag = 0) {
+    detail::WaitNode& node = prepare_node(tag);
+    enqueue_self(node);
+    sync.end_block();            // line 9: break atomicity
+    tm::syscall_fence();         // sleeping would abort a hardware txn
+    node.sem.wait();             // line 10: block until notified
+    node.enqueued = false;
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    run_continuation(sync, std::forward<Cont>(cont));
+  }
+
+  // ---- WAIT, traditional style (§4.1, §4.3) ----
+  //
+  // Returns with an equivalent synchronization block re-established; the
+  // caller's own code after the call is the continuation.  Under a
+  // transactional context the continuation runs irrevocably (§4.3), since a
+  // conflict-abort after WAIT must not re-run the first half.
+  void wait(SyncContext& sync, std::uint64_t tag = 0) {
+    detail::WaitNode& node = prepare_node(tag);
+    enqueue_self(node);
+    sync.end_block();
+    tm::syscall_fence();
+    node.sem.wait();
+    node.enqueued = false;
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    sync.begin_block();          // line 11: re-lock / begin continuation txn
+  }
+
+  // ---- Timed WAIT (extension; traditional style) ----
+  //
+  // Returns true if notified, false on timeout.  Not in the paper: POSIX
+  // compatibility requires pthread_cond_timedwait, and the user-space queue
+  // makes it clean to add.  The timeout/notify race is resolved against the
+  // queue: on timeout the thread transactionally removes its own node; if
+  // the node is already gone, a notifier selected us and its post is in
+  // flight (possibly deferred to that notifier's commit), so we consume it
+  // and report "notified".  Exactly one of {timeout-removal, notify-
+  // dequeue} can win, so no token is ever leaked or duplicated.
+  template <typename Rep, typename Period>
+  bool wait_for(SyncContext& sync,
+                std::chrono::duration<Rep, Period> timeout,
+                std::uint64_t tag = 0) {
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(timeout)
+            .count());
+    detail::WaitNode& node = prepare_node(tag);
+    enqueue_self(node);
+    sync.end_block();
+    tm::syscall_fence();
+    timed_waits_.fetch_add(1, std::memory_order_relaxed);
+    bool notified = node.sem.wait_for(ns);
+    if (!notified && !try_remove_self(node)) {
+      // A notifier dequeued us concurrently with the timeout: the post is
+      // committed or imminent; absorb it so the semaphore stays balanced.
+      node.sem.wait();
+      notified = true;
+    }
+    node.enqueued = false;
+    if (notified)
+      waits_.fetch_add(1, std::memory_order_relaxed);
+    else
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+    sync.begin_block();
+    return notified;
+  }
+
+  // ---- WAIT as the final action of a critical section (§4.1) ----
+  //
+  // Elides the continuation entirely: no re-acquire, no second transaction.
+  // The caller must not touch shared state after the call.
+  void wait_final(SyncContext& sync, std::uint64_t tag = 0) {
+    detail::WaitNode& node = prepare_node(tag);
+    enqueue_self(node);
+    sync.end_block();
+    tm::syscall_fence();
+    node.sem.wait();
+    node.enqueued = false;
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    if (sync.is_transactional()) tm::descriptor().mark_split_done();
+  }
+
+  // ---- WAIT scheduled at commit (§4.3, second empty-continuation form) ----
+  //
+  // For transactional callers only: enqueues now and registers the sleep as
+  // an on-commit handler, so control returns to the enclosing
+  // ENDTRANSACTION, which commits and then blocks.  The enclosing
+  // transaction must end immediately after this call.
+  void wait_at_commit(std::uint64_t tag = 0) {
+    TMCV_ASSERT_MSG(tm::in_txn(),
+                    "wait_at_commit requires a transactional context");
+    detail::WaitNode& node = prepare_node(tag);
+    enqueue_self(node);
+    tm::on_commit([this, &node] {
+      node.sem.wait();
+      node.enqueued = false;
+      waits_.fetch_add(1, std::memory_order_relaxed);
+    });
+    // If the transaction aborts, the enqueue rolls back and a stale node
+    // must not linger flagged.
+    tm::on_abort([&node] { node.enqueued = false; });
+  }
+
+  // ---- NOTIFYONE (Algorithm 5) ----
+  //
+  // Dequeues one waiter (per the wake policy) and schedules its semaphore
+  // post for when the outermost enclosing transaction commits; immediate
+  // when called from lock-based or unsynchronized code.  Returns whether a
+  // waiter was selected (callable from any context; "naked notify" is safe).
+  bool notify_one();
+
+  // ---- NOTIFYALL (Algorithm 6) ----
+  //
+  // Dequeues every waiter and schedules all their posts.  Returns the
+  // number of threads notified.
+  std::size_t notify_all();
+
+  // ---- NOTIFY-N (generalization) ----
+  //
+  // Dequeues up to `n` waiters (per the wake policy) and schedules their
+  // posts; returns how many were selected.  Generalizes Birrell's
+  // "NOTIFY could accidentally wake more than one thread" into a
+  // deliberate batched wake (useful when k units of work arrive at once
+  // and waking the whole herd would be oblivious).
+  std::size_t notify_n(std::size_t n);
+
+  // ---- NOTIFYBEST (§3.4) ----
+  //
+  // Walks the wait set and wakes the waiter whose tag maximizes `score`
+  // (ties: the earliest waiter).  Only possible because the set lives in
+  // user space.  Returns whether a waiter was selected.
+  template <typename Score>
+  bool notify_best(Score&& score) {
+    bool notified = false;
+    tm::atomically([&] {
+      notified = false;  // the closure may re-execute
+      detail::WaitNode* best = nullptr;
+      detail::WaitNode* best_prev = nullptr;
+      auto best_score = decltype(score(std::uint64_t{})){};
+      detail::WaitNode* prev = nullptr;
+      for (detail::WaitNode* cur = head_.load(); cur != nullptr;
+           cur = cur->next.load()) {
+        const auto s = score(cur->tag.load());
+        if (best == nullptr || s > best_score) {
+          best = cur;
+          best_prev = prev;
+          best_score = s;
+        }
+        prev = cur;
+      }
+      if (best == nullptr) return;
+      unlink(best_prev, best);
+      tm::on_commit([best] { best->sem.post(); });
+      notified = true;
+    });
+    count_notify(notify_best_calls_, notified ? 1 : 0);
+    return notified;
+  }
+
+  // Number of threads currently queued (transactional snapshot; advisory).
+  [[nodiscard]] std::size_t waiter_count() const;
+
+  [[nodiscard]] WakePolicy policy() const noexcept { return policy_; }
+
+  // Snapshot of the observability counters (see CondVarStats).
+  [[nodiscard]] CondVarStats stats() const noexcept {
+    CondVarStats s;
+    s.waits = waits_.load(std::memory_order_relaxed);
+    s.timed_waits = timed_waits_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
+    s.notify_one_calls = notify_one_calls_.load(std::memory_order_relaxed);
+    s.notify_all_calls = notify_all_calls_.load(std::memory_order_relaxed);
+    s.notify_best_calls =
+        notify_best_calls_.load(std::memory_order_relaxed);
+    s.threads_woken = threads_woken_.load(std::memory_order_relaxed);
+    s.lost_notifies = lost_notifies_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  detail::WaitNode& prepare_node(std::uint64_t tag) {
+    detail::WaitNode& node = detail::my_wait_node();
+    TMCV_ASSERT_MSG(!node.enqueued, "thread is already waiting on a condvar");
+    node.enqueued = true;
+    // Inside an ambient transaction, the enqueue (or the early commit that
+    // follows it) can abort and re-run the whole closure including this
+    // call; the rollback must clear the owner flag along with the queue
+    // state.
+    if (tm::in_txn()) tm::on_abort([&node] { node.enqueued = false; });
+    // Line 1 of WAIT: unsynchronized by design -- the node is privatized
+    // (unreachable from any queue) until the enqueue transaction commits.
+    node.next.store_plain(nullptr);
+    node.tag.store_plain(tag);
+    return node;
+  }
+
+  // Lines 2-8 of WAIT: insert into the queue under a transaction.  Flat
+  // nesting merges this with an ambient transaction; from lock-based or
+  // unsynchronized contexts it is its own small transaction.
+  void enqueue_self(detail::WaitNode& node);
+
+  // Remove `node` given its predecessor (transactional context required).
+  void unlink(detail::WaitNode* prev, detail::WaitNode* node);
+
+  // Transactionally search for `node` and remove it; false if a notifier
+  // already dequeued it (timed-wait race resolution).
+  bool try_remove_self(detail::WaitNode& node);
+
+  template <typename Cont>
+  void run_continuation(SyncContext& sync, Cont&& cont) {
+    if (sync.is_transactional()) {
+      // Lines 11-13 under TM: a fresh transaction with its own retry loop,
+      // so an abort re-runs only the continuation (never the first half).
+      auto& d = tm::descriptor();
+      tm::atomically(d.backend(), [&] { cont(); });
+      d.mark_split_done();
+    } else {
+      sync.begin_block();
+      cont();
+      sync.end_block();
+    }
+  }
+
+  void count_notify(std::atomic<std::uint64_t>& calls,
+                    std::size_t woken) noexcept {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    if (woken == 0)
+      lost_notifies_.fetch_add(1, std::memory_order_relaxed);
+    else
+      threads_woken_.fetch_add(woken, std::memory_order_relaxed);
+  }
+
+  tm::var<detail::WaitNode*> head_{nullptr};
+  tm::var<detail::WaitNode*> tail_{nullptr};
+  WakePolicy policy_;
+
+  // Metrics (relaxed; see CondVarStats).
+  std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> timed_waits_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> notify_one_calls_{0};
+  std::atomic<std::uint64_t> notify_all_calls_{0};
+  std::atomic<std::uint64_t> notify_best_calls_{0};
+  std::atomic<std::uint64_t> threads_woken_{0};
+  std::atomic<std::uint64_t> lost_notifies_{0};
+};
+
+}  // namespace tmcv

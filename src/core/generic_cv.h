@@ -1,0 +1,107 @@
+// The generic CondVar implementation of Algorithm 2, kept faithful to the
+// paper's line numbering: a set Q of waiting threads plus per-thread `spin`
+// flags.  WAITSTEP2 busy-waits (with yield), so this object is a *reference
+// model* for the specification -- property tests check the practical
+// implementation (condvar.h) against it, and the interleaving explorer
+// (src/sched) verifies Lemma 2's invariants on its step structure.
+//
+// Each atomic line of Algorithm 2 is realized as a transaction over the set,
+// mirroring how the practical algorithm protects its queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/api.h"
+#include "tm/var.h"
+#include "util/assert.h"
+#include "util/backoff.h"
+
+namespace tmcv {
+
+// N is the maximum number of participating threads; callers index themselves
+// with small dense ids (0..N-1), which tests allocate per thread.
+template <std::size_t N>
+class GenericCondVar {
+ public:
+  static constexpr std::size_t kInvalid = N;
+
+  // Line 1-2: set the flag, then atomically insert p into Q.
+  void wait_step1(std::size_t p) {
+    TMCV_ASSERT(p < N);
+    spin_[p].store(true, std::memory_order_seq_cst);  // line 1
+    tm::atomically([&] {                              // line 2
+      in_q_[p].store(true);
+    });
+  }
+
+  // Line 3: spin until notified; always returns false (Definition 1(2)).
+  bool wait_step2(std::size_t p) {
+    TMCV_ASSERT(p < N);
+    Backoff backoff;
+    while (spin_[p].load(std::memory_order_seq_cst)) backoff.wait();
+    return false;
+  }
+
+  // Lines 4-5: atomically remove an arbitrary element, then clear its flag
+  // as a separate step.  Returns the removed thread, or kInvalid.
+  std::size_t notify_one() {
+    std::size_t victim = kInvalid;
+    tm::atomically([&] {  // line 4
+      victim = kInvalid;
+      for (std::size_t i = 0; i < N; ++i) {
+        if (in_q_[i].load()) {
+          in_q_[i].store(false);
+          victim = i;
+          break;
+        }
+      }
+    });
+    if (victim != kInvalid)  // line 5
+      spin_[victim].store(false, std::memory_order_seq_cst);
+    return victim;
+  }
+
+  // Lines 6-7: atomically drain Q into Q', then clear flags one by one.
+  // Returns the number of threads woken.
+  std::size_t notify_all() {
+    bool drained[N];
+    tm::atomically([&] {  // line 6
+      for (std::size_t i = 0; i < N; ++i) {
+        drained[i] = in_q_[i].load();
+        if (drained[i]) in_q_[i].store(false);
+      }
+    });
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < N; ++i) {  // line 7
+      if (drained[i]) {
+        spin_[i].store(false, std::memory_order_seq_cst);
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  // Convenience: full WAIT (both steps).
+  void wait(std::size_t p) {
+    wait_step1(p);
+    const bool spurious = wait_step2(p);
+    TMCV_ASSERT_MSG(!spurious, "spec violation: WAITSTEP2 returned true");
+  }
+
+  // Observers for invariant checks.
+  [[nodiscard]] bool in_queue(std::size_t p) const {
+    bool result = false;
+    tm::atomically([&] { result = in_q_[p].load(); });
+    return result;
+  }
+  [[nodiscard]] bool spin_flag(std::size_t p) const noexcept {
+    return spin_[p].load(std::memory_order_seq_cst);
+  }
+
+ private:
+  tm::array<bool, N> in_q_{};
+  std::atomic<bool> spin_[N]{};
+};
+
+}  // namespace tmcv

@@ -1,0 +1,144 @@
+// dedup mini-kernel: stream compression through a 5-stage pipeline
+// (fragment, refine, deduplicate, compress, reorder/output) with bounded
+// per-stage queues (§5.2).  The deduplication stage probes a shared hash
+// table inside a critical section, and the final stage writes output *in
+// order* through a serial section that performs real I/O -- under the
+// transactional system that section is a relaxed (irrevocable) transaction,
+// which serializes against everything else and reproduces the paper's §5.4
+// no-scaling anomaly.
+//
+// Table-1 audit of this port: queue push/pop (per-stage queues share one
+// implementation => 2 sites) + hash-table probe + ordered-output turn wait
+// + relaxed output emit + stats fold = 6 total sites (1 relaxed); condvar
+// sites: queue push wait, queue pop wait, output turn wait = 3 (no
+// barrier); all three are refactored continuations -- the paper's dedup row
+// is 10 / 3 / 3 with the same three cond_wait sites.
+#include "parsec/runner.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "apps/ordered_output.h"
+#include "apps/pipeline.h"
+#include "parsec/registry.h"
+#include "parsec/workload.h"
+#include "util/assert.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+namespace {
+
+const bool registered = [] {
+  register_characteristics({.benchmark = "dedup",
+                            .total_transactions = 6,
+                            .condvar_transactions = 3,
+                            .condvar_transactions_barrier = 0,
+                            .refactored_continuations = 3,
+                            .refactored_barrier = 0});
+  return true;
+}();
+
+// A sink fd for the output stage's real write() syscalls.
+int dev_null_fd() {
+  static const int fd = ::open("/dev/null", O_WRONLY);
+  TMCV_ASSERT(fd >= 0);
+  return fd;
+}
+
+template <typename Policy>
+KernelResult run_impl(const KernelConfig& cfg) {
+  constexpr std::size_t kStages = 5;
+  const int chunks = 300;  // fixed input stream
+  constexpr std::size_t kBuckets = 64;
+  // Stage costs: fragment/refine/dedup/compress; output is I/O-bound.
+  const double stage_us[kStages] = {15.0, 20.0, 25.0, 45.0, 5.0};
+
+  // Shared deduplication hash table: bucket occupancy counters probed and
+  // updated inside a critical section (a real shared-state transaction in
+  // the TMParsec port).
+  typename Policy::Region hash_region;
+  std::vector<std::unique_ptr<typename Policy::template Cell<std::uint64_t>>>
+      buckets;
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    buckets.emplace_back(
+        std::make_unique<typename Policy::template Cell<std::uint64_t>>());
+
+  // Reorder buffer drained by the single serial output worker (the window
+  // bounds reorder skew; in-flight items are limited by queue capacities).
+  apps::ReorderBuffer<Policy> reorder(512);
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> duplicates{0};
+
+  // Items pack (sequence << 32) | payload-hash-low so order survives the
+  // stage transforms.
+  auto seq_of = [](std::uint64_t item) { return item >> 32; };
+  auto payload_of = [](std::uint64_t item) {
+    return item & 0xffffffffull;
+  };
+  auto make_item = [](std::uint64_t seq, std::uint64_t payload) {
+    return (seq << 32) | (payload & 0xffffffffull);
+  };
+
+  Stopwatch sw;
+  {
+    typename apps::Pipeline<Policy>::Config pcfg;
+    pcfg.stages = kStages;
+    pcfg.workers_per_stage = static_cast<std::size_t>(cfg.threads);
+    pcfg.workers_last_stage = 1;  // dedup's serial output thread
+    pcfg.queue_capacity = 16;     // small: exercises backpressure waits
+    apps::Pipeline<Policy> pipe(
+        pcfg,
+        [&](std::size_t stage, std::uint64_t item) {
+          const auto iters = static_cast<std::uint64_t>(
+              stage_us[stage] * calibrated_iters_per_us() * cfg.scale);
+          std::uint64_t payload =
+              payload_of(item) ^
+              (synth_work(cfg.seed + stage * 7919 + payload_of(item), iters) &
+               0xffffffffull);
+          if (stage == 2) {
+            // Deduplicate: probe the shared hash table.
+            const std::size_t bucket = payload % kBuckets;
+            const bool dup = Policy::critical(hash_region, [&] {
+              const std::uint64_t seen = buckets[bucket]->get();
+              buckets[bucket]->set(seen + 1);
+              return seen > 0;
+            });
+            if (dup) duplicates.fetch_add(1, std::memory_order_relaxed);
+          }
+          return make_item(seq_of(item), payload);
+        },
+        [&](std::uint64_t item) {
+          // Reorder/output stage (single serial worker): buffer, then emit
+          // every ready item strictly in order.
+          reorder.insert(
+              seq_of(item), payload_of(item),
+              [&](std::uint64_t seq, std::uint64_t payload) {
+                // The I/O that makes this transaction relaxed in the paper.
+                [[maybe_unused]] const ssize_t n =
+                    ::write(dev_null_fd(), &payload, sizeof(payload));
+                checksum.fetch_xor(payload * (seq + 1),
+                                   std::memory_order_relaxed);
+              });
+        });
+    for (int c = 0; c < chunks; ++c)
+      pipe.feed(make_item(static_cast<std::uint64_t>(c),
+                          static_cast<std::uint64_t>(c) * 2654435761u));
+    pipe.finish();
+  }
+  const double seconds = sw.elapsed_seconds();
+  return KernelResult{seconds, checksum.load() ^ duplicates.load(),
+                      static_cast<std::uint64_t>(chunks)};
+}
+
+}  // namespace
+
+KernelResult run_dedup(System sys, const KernelConfig& cfg) {
+  TMCV_PARSEC_DISPATCH(run_impl, sys, cfg);
+}
+
+}  // namespace tmcv::parsec

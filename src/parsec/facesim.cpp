@@ -1,0 +1,81 @@
+// facesim mini-kernel: physics-frame simulation driven by a dynamic,
+// load-balanced task-queue (§5.2).  The main thread adds one batch of tasks
+// per frame to the per-worker queues and waits for their completion; the
+// workers drain their own queue and steal when starved.
+//
+// Table-1 audit of this port (TMParsec system):
+//   critical sections -> transactions: TaskQueueSet::{add, take, complete,
+//   wait_all, stop} plus the kernel's checksum fold = 6 "total" sites, of
+//   which take/wait_all contain condvar waits (2 condvar transactions, no
+//   barrier) and both are refactored (execute_or_wait splits at the WAIT).
+#include "parsec/runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/task_queue.h"
+#include "parsec/registry.h"
+#include "parsec/workload.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+namespace {
+
+const bool registered = [] {
+  register_characteristics({.benchmark = "facesim",
+                            .total_transactions = 6,
+                            .condvar_transactions = 2,
+                            .condvar_transactions_barrier = 0,
+                            .refactored_continuations = 2,
+                            .refactored_barrier = 0});
+  return true;
+}();
+
+template <typename Policy>
+KernelResult run_impl(const KernelConfig& cfg) {
+  const std::size_t workers = static_cast<std::size_t>(cfg.threads);
+  const int frames = 8;
+  const int tasks_per_frame = 48;  // fixed input size (load-balanced)
+  const auto work_iters = static_cast<std::uint64_t>(
+      120.0 * calibrated_iters_per_us() * cfg.scale);
+
+  apps::TaskQueueSet<Policy> tq(workers, 256);
+  std::atomic<std::uint64_t> checksum{0};
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::uint64_t task = 0;
+      std::uint64_t local = 0;
+      while (tq.take(w, task)) {
+        local ^= synth_work(cfg.seed ^ task, work_iters);
+        tq.complete();
+      }
+      checksum.fetch_xor(local, std::memory_order_relaxed);
+    });
+  }
+  // Main thread: one task batch per frame, then wait for frame completion
+  // (the load-balanced task queue + completion latch of facesim).
+  for (int f = 0; f < frames; ++f) {
+    for (int t = 0; t < tasks_per_frame; ++t)
+      tq.add(static_cast<std::size_t>(t) % workers,
+             static_cast<std::uint64_t>(f) * tasks_per_frame + t);
+    tq.wait_all();
+  }
+  tq.stop();
+  for (auto& t : threads) t.join();
+  const double seconds = sw.elapsed_seconds();
+  return KernelResult{seconds, checksum.load(),
+                      static_cast<std::uint64_t>(frames) * tasks_per_frame};
+}
+
+}  // namespace
+
+KernelResult run_facesim(System sys, const KernelConfig& cfg) {
+  TMCV_PARSEC_DISPATCH(run_impl, sys, cfg);
+}
+
+}  // namespace tmcv::parsec

@@ -1,0 +1,76 @@
+// ferret mini-kernel: content-based similarity search as a 6-stage pipeline
+// (load, segment, extract, vector, rank, output), each stage a thread pool
+// with a bounded job queue -- the pipelined multi-producer/multi-consumer
+// pattern (§5.2).
+//
+// Table-1 audit of this port: the pipeline's per-stage queue contributes
+// push/pop critical sections (shared implementation => counted once) plus
+// the sink fold = 3 total transaction sites; push and pop both contain
+// condvar waits (2 condvar transactions, no barrier), and both are
+// refactored continuations -- matching the paper's ferret row exactly
+// (3 / 2 / 2).
+#include "parsec/runner.h"
+
+#include <atomic>
+
+#include "apps/pipeline.h"
+#include "parsec/registry.h"
+#include "parsec/workload.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+namespace {
+
+const bool registered = [] {
+  register_characteristics({.benchmark = "ferret",
+                            .total_transactions = 3,
+                            .condvar_transactions = 2,
+                            .condvar_transactions_barrier = 0,
+                            .refactored_continuations = 2,
+                            .refactored_barrier = 0});
+  return true;
+}();
+
+template <typename Policy>
+KernelResult run_impl(const KernelConfig& cfg) {
+  constexpr std::size_t kStages = 6;
+  const int queries = 400;  // fixed input: images to process
+  // Middle stages dominate; ferret's -n parameter sets per-stage pool size.
+  const auto stage_iters = static_cast<std::uint64_t>(
+      30.0 * calibrated_iters_per_us() * cfg.scale);
+
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> ranked{0};
+
+  Stopwatch sw;
+  {
+    typename apps::Pipeline<Policy>::Config pcfg;
+    pcfg.stages = kStages;
+    pcfg.workers_per_stage = static_cast<std::size_t>(cfg.threads);
+    pcfg.queue_capacity = 32;
+    apps::Pipeline<Policy> pipe(
+        pcfg,
+        [&](std::size_t stage, std::uint64_t item) {
+          // Each stage transforms the query (feature mixing).
+          return item ^ synth_work(cfg.seed + stage, stage_iters);
+        },
+        [&](std::uint64_t item) {
+          checksum.fetch_xor(item, std::memory_order_relaxed);
+          ranked.fetch_add(1, std::memory_order_relaxed);
+        });
+    for (int q = 0; q < queries; ++q)
+      pipe.feed(static_cast<std::uint64_t>(q) + 1);
+    pipe.finish();
+  }
+  const double seconds = sw.elapsed_seconds();
+  return KernelResult{seconds, checksum.load(), ranked.load()};
+}
+
+}  // namespace
+
+KernelResult run_ferret(System sys, const KernelConfig& cfg) {
+  TMCV_PARSEC_DISPATCH(run_impl, sys, cfg);
+}
+
+}  // namespace tmcv::parsec

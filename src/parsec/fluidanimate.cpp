@@ -1,0 +1,73 @@
+// fluidanimate mini-kernel: incompressible-fluid simulation whose only
+// condition synchronization is a condvar-implemented barrier between grid
+// phases (§5.2).  Work per phase is fixed (the grid) and split evenly
+// across threads, so the time-vs-threads curve is barrier-overhead plus
+// compute/t -- the same shape as the paper's Figure 1(c)/2(c).
+//
+// Table-1 audit of this port: barrier arrive (critical) + barrier wait
+// (execute_or_wait) + checksum fold = 3 total sites; both barrier sites are
+// condvar sites and barrier-parenthesized; the wait is a refactored
+// (barrier) continuation -- the paper's row reports 2 (2) condvar
+// transactions and 2 (2) refactored, all from its barrier.
+#include "parsec/runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/barrier.h"
+#include "parsec/registry.h"
+#include "parsec/workload.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+namespace {
+
+const bool registered = [] {
+  register_characteristics({.benchmark = "fluidanimate",
+                            .total_transactions = 3,
+                            .condvar_transactions = 2,
+                            .condvar_transactions_barrier = 2,
+                            .refactored_continuations = 2,
+                            .refactored_barrier = 2});
+  return true;
+}();
+
+template <typename Policy>
+KernelResult run_impl(const KernelConfig& cfg) {
+  const std::size_t threads = static_cast<std::size_t>(cfg.threads);
+  const int phases = 60;
+  // Total grid work per phase, divided across threads (fixed input).
+  const auto phase_total_iters = static_cast<std::uint64_t>(
+      1200.0 * calibrated_iters_per_us() * cfg.scale);
+
+  apps::CvBarrier<Policy> barrier(threads);
+  std::atomic<std::uint64_t> checksum{0};
+
+  Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::uint64_t local = 0;
+      const std::uint64_t slice = phase_total_iters / threads + 1;
+      for (int p = 0; p < phases; ++p) {
+        local ^= synth_work(cfg.seed + p * 131 + t, slice);
+        barrier.arrive_and_wait();
+      }
+      checksum.fetch_xor(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds = sw.elapsed_seconds();
+  return KernelResult{seconds, checksum.load(),
+                      static_cast<std::uint64_t>(phases)};
+}
+
+}  // namespace
+
+KernelResult run_fluidanimate(System sys, const KernelConfig& cfg) {
+  TMCV_PARSEC_DISPATCH(run_impl, sys, cfg);
+}
+
+}  // namespace tmcv::parsec

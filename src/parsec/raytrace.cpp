@@ -1,0 +1,79 @@
+// raytrace mini-kernel: animated-scene rendering where worker threads pull
+// screen tiles from a multi-threaded task queue, one frame at a time (§5.2).
+//
+// Table-1 audit of this port: task-queue {add, take, complete, wait_all,
+// stop} + per-tile shade fold = 6 total sites; condvar sites: the take wait
+// and the frame-completion wait = 2 (no barrier); neither required more
+// refactoring than execute_or_wait's split.  The paper's raytrace row is
+// larger (14 / 4 (1) / 0) because the original also transactionalizes its
+// scene-graph and memory-pool sections, which have no synthetic equivalent
+// here; the condvar structure (task queue + completion) is the same.
+#include "parsec/runner.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "apps/task_queue.h"
+#include "parsec/registry.h"
+#include "parsec/workload.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+namespace {
+
+const bool registered = [] {
+  register_characteristics({.benchmark = "raytrace",
+                            .total_transactions = 6,
+                            .condvar_transactions = 2,
+                            .condvar_transactions_barrier = 0,
+                            .refactored_continuations = 2,
+                            .refactored_barrier = 0});
+  return true;
+}();
+
+template <typename Policy>
+KernelResult run_impl(const KernelConfig& cfg) {
+  const std::size_t workers = static_cast<std::size_t>(cfg.threads);
+  const int frames = 4;
+  const int tiles = 128;  // fixed screen size
+  const auto tile_iters = static_cast<std::uint64_t>(
+      120.0 * calibrated_iters_per_us() * cfg.scale);
+
+  apps::TaskQueueSet<Policy> tq(workers, 512);
+  std::atomic<std::uint64_t> checksum{0};
+
+  Stopwatch sw;
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      std::uint64_t local = 0;
+      std::uint64_t tile = 0;
+      while (tq.take(w, tile)) {
+        local ^= synth_work(cfg.seed ^ tile, tile_iters);
+        tq.complete();
+      }
+      checksum.fetch_xor(local, std::memory_order_relaxed);
+    });
+  }
+  for (int f = 0; f < frames; ++f) {
+    for (int t = 0; t < tiles; ++t)
+      tq.add(static_cast<std::size_t>(t) % workers,
+             static_cast<std::uint64_t>(f) * tiles + t);
+    tq.wait_all();  // frame boundary: all tiles rendered before the next
+  }
+  tq.stop();
+  for (auto& t : pool) t.join();
+  const double seconds = sw.elapsed_seconds();
+  return KernelResult{seconds, checksum.load(),
+                      static_cast<std::uint64_t>(frames) * tiles};
+}
+
+}  // namespace
+
+KernelResult run_raytrace(System sys, const KernelConfig& cfg) {
+  TMCV_PARSEC_DISPATCH(run_impl, sys, cfg);
+}
+
+}  // namespace tmcv::parsec

@@ -1,0 +1,50 @@
+#include "parsec/registry.h"
+
+#include <algorithm>
+
+namespace tmcv::parsec {
+
+namespace {
+
+std::vector<SyncCharacteristics>& rows() {
+  static std::vector<SyncCharacteristics> instance;
+  return instance;
+}
+
+}  // namespace
+
+const std::vector<PaperTableRow>& paper_table1() {
+  // Table 1 of the paper, "Synchronization characteristics of PARSEC source
+  // code"; parenthesized values are the barrier-implementation subsets.
+  static const std::vector<PaperTableRow> table{
+      {"facesim", 9, 2, 0, 0, 0},
+      {"ferret", 3, 2, 0, 2, 0},
+      {"fluidanimate", 9, 2, 2, 2, 2},
+      {"streamcluster", 7, 3, 2, 2, 2},
+      {"bodytrack", 9, 2, 1, 2, 1},
+      {"x264", 4, 1, 0, 0, 0},
+      {"raytrace", 14, 4, 1, 0, 0},
+      {"dedup", 10, 3, 0, 3, 0},
+  };
+  return table;
+}
+
+void register_characteristics(SyncCharacteristics row) {
+  auto& all = rows();
+  // Idempotent by benchmark name (static initializers run once, but tests
+  // may re-register).
+  const auto it =
+      std::find_if(all.begin(), all.end(), [&](const SyncCharacteristics& r) {
+        return r.benchmark == row.benchmark;
+      });
+  if (it != all.end())
+    *it = std::move(row);
+  else
+    all.push_back(std::move(row));
+}
+
+const std::vector<SyncCharacteristics>& registered_characteristics() {
+  return rows();
+}
+
+}  // namespace tmcv::parsec

@@ -1,0 +1,47 @@
+// Synchronization-characteristics registry: regenerates the paper's Table 1.
+//
+// The paper's Table 1 audits the PARSEC sources: how many critical sections
+// became transactions in the TMParsec port, how many of those contain
+// condition-variable operations (barrier uses in parentheses), and how many
+// cond_wait sites required manual refactoring (transaction splitting).
+//
+// Our kernels declare the same characteristics for *our* ports: every
+// Policy::critical / Policy::relaxed / Policy::execute_or_wait site in the
+// kernel source is one (potential) transaction, sites containing condvar
+// operations are counted separately, and every execute_or_wait is by
+// construction a refactored continuation (the transaction is split at the
+// WAIT).  Each kernel's .cpp carries the audit next to the code it counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmcv::parsec {
+
+struct SyncCharacteristics {
+  std::string benchmark;
+  int total_transactions = 0;
+  int condvar_transactions = 0;
+  int condvar_transactions_barrier = 0;  // subset, shown in parens
+  int refactored_continuations = 0;
+  int refactored_barrier = 0;  // subset, shown in parens
+};
+
+// The paper's Table 1 row for a benchmark (for side-by-side printing).
+struct PaperTableRow {
+  const char* benchmark;
+  int total_transactions;
+  int condvar_transactions;
+  int condvar_transactions_barrier;
+  int refactored_continuations;
+  int refactored_barrier;
+};
+
+// Paper's Table 1, verbatim (including the TOTAL row computed by callers).
+const std::vector<PaperTableRow>& paper_table1();
+
+// Static registration, done by each kernel translation unit at load time.
+void register_characteristics(SyncCharacteristics row);
+const std::vector<SyncCharacteristics>& registered_characteristics();
+
+}  // namespace tmcv::parsec

@@ -1,0 +1,40 @@
+#include "parsec/runner.h"
+
+namespace tmcv::parsec {
+
+const char* to_string(System s) noexcept {
+  switch (s) {
+    case System::Pthread:
+      return "Parsec+pthreadCondVar";
+    case System::TmCv:
+      return "Parsec+TMCondVar";
+    case System::Tm:
+      return "TMParsec+TMCondVar";
+  }
+  return "?";
+}
+
+const std::vector<KernelInfo>& kernels() {
+  // Thread sweeps mirror the paper's figures: Westmere plots 1..12 (we
+  // sample the same range), Haswell 1..8; facesim's input designates its
+  // counts and fluidanimate requires powers of two.
+  static const std::vector<KernelInfo> table{
+      {"facesim", &run_facesim, {1, 2, 3, 4, 6, 8}, {1, 2, 3, 4, 6, 8}},
+      {"ferret", &run_ferret, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+      {"fluidanimate", &run_fluidanimate, {1, 2, 4, 8}, {1, 2, 4, 8}},
+      {"streamcluster", &run_streamcluster, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+      {"bodytrack", &run_bodytrack, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+      {"x264", &run_x264, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+      {"raytrace", &run_raytrace, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+      {"dedup", &run_dedup, {1, 2, 4, 6, 8, 12}, {1, 2, 4, 6, 8}},
+  };
+  return table;
+}
+
+const KernelInfo* find_kernel(const std::string& name) {
+  for (const KernelInfo& k : kernels())
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+}  // namespace tmcv::parsec

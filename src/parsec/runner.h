@@ -1,0 +1,80 @@
+// Kernel runner interface: every PARSEC mini-kernel exposes one entry point
+// that runs the workload under a chosen software system (the three systems
+// of §5.3) and returns wall-clock time plus a checksum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/sync_policy.h"
+
+namespace tmcv::parsec {
+
+// The three software systems compared in the paper's evaluation.
+enum class System : std::uint8_t {
+  Pthread,  // Parsec+pthreadCondVar (baseline)
+  TmCv,     // Parsec+TMCondVar
+  Tm,       // TMParsec+TMCondVar
+};
+
+[[nodiscard]] const char* to_string(System s) noexcept;
+
+struct KernelConfig {
+  int threads = 2;
+  double scale = 1.0;       // input-size multiplier (1.0 = default input)
+  std::uint64_t seed = 42;  // workload PRNG seed
+};
+
+struct KernelResult {
+  double seconds = 0.0;        // wall-clock run time
+  std::uint64_t checksum = 0;  // workload checksum (DCE guard / sanity)
+  std::uint64_t units = 0;     // items/frames processed
+};
+
+using KernelFn = KernelResult (*)(System, const KernelConfig&);
+
+struct KernelInfo {
+  std::string name;
+  KernelFn run;
+  // Thread sweeps used by the figure benches (kernel-specific constraints:
+  // facesim's input designates its counts, fluidanimate needs powers of 2).
+  std::vector<int> threads_westmere;
+  std::vector<int> threads_haswell;
+};
+
+// The eight kernels, in the paper's Figure order.
+const std::vector<KernelInfo>& kernels();
+
+// Lookup by name (nullptr if unknown).
+const KernelInfo* find_kernel(const std::string& name);
+
+// Kernel entry points (one translation unit each).
+KernelResult run_facesim(System, const KernelConfig&);
+KernelResult run_ferret(System, const KernelConfig&);
+KernelResult run_fluidanimate(System, const KernelConfig&);
+KernelResult run_streamcluster(System, const KernelConfig&);
+KernelResult run_bodytrack(System, const KernelConfig&);
+KernelResult run_x264(System, const KernelConfig&);
+KernelResult run_raytrace(System, const KernelConfig&);
+KernelResult run_dedup(System, const KernelConfig&);
+
+// Shared dispatch: run `impl<Policy>` for the policy matching `sys`.  The
+// HTM-vs-STM choice for the condvar-internal (and TMParsec) transactions is
+// global (tm::set_default_backend), chosen by the bench harness per
+// "machine".
+#define TMCV_PARSEC_DISPATCH(impl, sys, cfg)                \
+  do {                                                      \
+    switch (sys) {                                          \
+      case ::tmcv::parsec::System::Pthread:                 \
+        return impl<::tmcv::apps::PthreadPolicy>(cfg);      \
+      case ::tmcv::parsec::System::TmCv:                    \
+        return impl<::tmcv::apps::TmCvPolicy>(cfg);         \
+      case ::tmcv::parsec::System::Tm:                      \
+        return impl<::tmcv::apps::TxnPolicy>(cfg);          \
+    }                                                       \
+    TMCV_ASSERT_MSG(false, "unknown system");               \
+    return ::tmcv::parsec::KernelResult{};                  \
+  } while (0)
+
+}  // namespace tmcv::parsec

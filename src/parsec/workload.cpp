@@ -1,0 +1,34 @@
+#include "parsec/workload.h"
+
+#include "util/rng.h"
+#include "util/timing.h"
+
+namespace tmcv::parsec {
+
+std::uint64_t synth_work(std::uint64_t seed, std::uint64_t iters) noexcept {
+  // A serial dependency chain so the loop cannot be vectorized away and its
+  // latency is predictable.
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+double calibrated_iters_per_us() {
+  static const double value = [] {
+    // Warm up, then time a fixed batch.
+    (void)synth_work(1, 100000);
+    constexpr std::uint64_t kBatch = 2000000;
+    Stopwatch sw;
+    volatile std::uint64_t sink = synth_work(2, kBatch);
+    (void)sink;
+    const double us = sw.elapsed_seconds() * 1e6;
+    return us > 0 ? static_cast<double>(kBatch) / us : 1e3;
+  }();
+  return value;
+}
+
+}  // namespace tmcv::parsec

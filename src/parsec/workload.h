@@ -1,0 +1,23 @@
+// Synthetic compute payloads for the PARSEC mini-kernels.
+//
+// The paper's evaluation measures condition-synchronization behaviour, not
+// PARSEC's numerics, so each kernel replaces the original math with a
+// calibrated PRNG-mixing loop whose cost scales linearly with `iters` and
+// whose result feeds a checksum (preventing dead-code elimination and
+// enabling cross-system result comparison).
+#pragma once
+
+#include <cstdint>
+
+namespace tmcv::parsec {
+
+// Burn roughly `iters` PRNG-mix rounds seeded by `seed`; returns a checksum.
+[[nodiscard]] std::uint64_t synth_work(std::uint64_t seed,
+                                       std::uint64_t iters) noexcept;
+
+// Rough number of synth_work iterations per microsecond on this machine
+// (measured once, cached); used to express kernel work in time units so the
+// figure benches stay proportioned like the paper's run times.
+[[nodiscard]] double calibrated_iters_per_us();
+
+}  // namespace tmcv::parsec

@@ -1,0 +1,245 @@
+// Step-machine model of Algorithm 2 (the generic CondVar implementation),
+// with each numbered line an atomic step, exactly as the paper's proofs
+// assume.  The explorer checks Lemma 2's five invariants after every step
+// and conservation properties in final states.
+//
+// Processes:
+//   * Waiters run:  line1 (spin_p := true) ; line2 (Q := Q ∪ {p}) ;
+//                   line3 (blocked until ¬spin_p, then return false).
+//   * Notifiers run a fixed program of operations:
+//       NotifyOne  = line4 (remove arbitrary x, set e) ; line5 (clear spin_x)
+//       NotifyAll  = line6 (Q' := Q; Q := ∅) ; line7* (drain Q' one x per
+//                    step, clearing spin_x)
+//
+// "Guarded" notifiers only fire when Q is nonempty, modeling predicate-
+// guarded notification; with guards and enough notifications, the explorer
+// proves deadlock freedom.  Unguarded notifiers model naked notifies, whose
+// lost-wakeup schedules are semantically legal -- tests then disable the
+// deadlock check and focus on the invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/explorer.h"
+
+namespace tmcv::sched {
+
+enum class NotifyOp : std::uint8_t { One, All };
+
+struct CvModelConfig {
+  std::size_t waiters = 2;
+  std::vector<NotifyOp> notifier_program;  // one notifier process per entry
+  bool guarded_notify = true;  // notify steps wait for a nonempty Q
+  // Minimum queue population before a guarded NotifyAll may start; lets
+  // deadlock-freedom theorems like "one NotifyAll after all W waiters
+  // enqueued frees everybody" be stated exactly.
+  std::size_t notify_all_guard = 1;
+};
+
+class CvModel final : public Model {
+ public:
+  explicit CvModel(CvModelConfig config) : cfg_(std::move(config)) {
+    reset();
+  }
+
+  void reset() override {
+    const std::size_t w = cfg_.waiters;
+    spin_.assign(w, false);
+    in_q_.assign(w, false);
+    waiter_pc_.assign(w, 1);
+    notifier_pc_.assign(cfg_.notifier_program.size(), 0);
+    e_.assign(cfg_.notifier_program.size(), false);
+    x_.assign(cfg_.notifier_program.size(), kNone);
+    q_prime_.assign(cfg_.notifier_program.size(),
+                    std::vector<std::size_t>{});
+    completed_waits_ = 0;
+    completed_notifies_ = 0;
+  }
+
+  [[nodiscard]] std::size_t process_count() const override {
+    return cfg_.waiters + cfg_.notifier_program.size();
+  }
+
+  [[nodiscard]] bool done(std::size_t p) const override {
+    if (p < cfg_.waiters) return waiter_pc_[p] == kWaiterDone;
+    return notifier_pc_[p - cfg_.waiters] == kNotifierDone;
+  }
+
+  [[nodiscard]] bool enabled(std::size_t p) const override {
+    if (p < cfg_.waiters) {
+      // Line 3 is enabled only when the flag has been cleared: the paper's
+      // busy-wait is modeled as blocking (same reachable states, finite
+      // schedules).
+      if (waiter_pc_[p] == 3) return !spin_[p];
+      return waiter_pc_[p] != kWaiterDone;
+    }
+    const std::size_t n = p - cfg_.waiters;
+    if (notifier_pc_[n] == kNotifierDone) return false;
+    if (cfg_.guarded_notify && at_op_start(n)) {
+      const std::size_t need = cfg_.notifier_program[n] == NotifyOp::All
+                                   ? cfg_.notify_all_guard
+                                   : 1;
+      if (queue_size() < need) return false;
+    }
+    return true;
+  }
+
+  void step(std::size_t p) override {
+    if (p < cfg_.waiters)
+      step_waiter(p);
+    else
+      step_notifier(p - cfg_.waiters);
+  }
+
+  void check_invariants() const override {
+    // Lemma 2 (1): p@1 ==> !spin_p ; (2): p@2 ==> spin_p
+    for (std::size_t p = 0; p < cfg_.waiters; ++p) {
+      if (waiter_pc_[p] == 1 && spin_[p])
+        fail("invariant 1: p@1 but spin_p set", p);
+      if (waiter_pc_[p] == 2 && !spin_[p])
+        fail("invariant 2: p@2 but spin_p clear", p);
+      // Lemma 2 (3): p in Q ==> p@3 and spin_p
+      if (in_q_[p] && (waiter_pc_[p] != 3 || !spin_[p]))
+        fail("invariant 3: p in Q but not (p@3 and spin_p)", p);
+    }
+    for (std::size_t n = 0; n < cfg_.notifier_program.size(); ++n) {
+      // Lemma 2 (4): p@5 and e ==> x@3 and spin_x
+      if (notifier_pc_[n] == 5 && e_[n]) {
+        const std::size_t x = x_[n];
+        if (x == kNone || waiter_pc_[x] != 3 || !spin_[x])
+          fail("invariant 4: p@5 with e but x not (x@3 and spin_x)", n);
+      }
+      // Lemma 2 (5): p@7 and x in Q' ==> x@3 and spin_x
+      if (notifier_pc_[n] == 7) {
+        for (std::size_t x : q_prime_[n])
+          if (waiter_pc_[x] != 3 || !spin_[x])
+            fail("invariant 5: p@7 with x in Q' but x not (x@3 and spin_x)",
+                 n);
+      }
+    }
+  }
+
+  void check_final() const override {
+    // Conservation: every completed wait was paired with exactly one wake
+    // (Definition 1's no-spurious-wakeup, checked globally): a waiter can
+    // only pass line 3 after some notifier cleared its flag, and flags are
+    // cleared once per dequeue.
+    if (completed_waits_ > completed_notifies_)
+      throw ModelViolation("more completed waits than notifications");
+  }
+
+  [[nodiscard]] std::size_t completed_waits() const noexcept {
+    return completed_waits_;
+  }
+  [[nodiscard]] std::size_t completed_notifies() const noexcept {
+    return completed_notifies_;
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  static constexpr int kWaiterDone = 99;
+  static constexpr int kNotifierDone = 99;
+
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    std::size_t n = 0;
+    for (bool b : in_q_)
+      if (b) ++n;
+    return n;
+  }
+
+  // Whether notifier n's pc is at the first line of an operation.
+  [[nodiscard]] bool at_op_start(std::size_t n) const noexcept {
+    return notifier_pc_[n] == 0;
+  }
+
+  void step_waiter(std::size_t p) {
+    switch (waiter_pc_[p]) {
+      case 1:  // spin_p := true
+        spin_[p] = true;
+        waiter_pc_[p] = 2;
+        break;
+      case 2:  // Q := Q ∪ {p}
+        in_q_[p] = true;
+        waiter_pc_[p] = 3;
+        break;
+      case 3:  // observed ¬spin_p: WAITSTEP2 returns false
+        ++completed_waits_;
+        waiter_pc_[p] = kWaiterDone;
+        break;
+      default:
+        throw ModelViolation("waiter stepped when done");
+    }
+  }
+
+  void step_notifier(std::size_t n) {
+    const NotifyOp op = cfg_.notifier_program[n];
+    switch (notifier_pc_[n]) {
+      case 0:
+        if (op == NotifyOp::One) {
+          // Line 4: remove an arbitrary x from Q if one exists.
+          e_[n] = false;
+          x_[n] = kNone;
+          for (std::size_t p = 0; p < cfg_.waiters; ++p) {
+            if (in_q_[p]) {
+              in_q_[p] = false;
+              e_[n] = true;
+              x_[n] = p;
+              break;
+            }
+          }
+          notifier_pc_[n] = 5;
+        } else {
+          // Line 6: Q' := Q ; Q := ∅ (one atomic step).
+          q_prime_[n].clear();
+          for (std::size_t p = 0; p < cfg_.waiters; ++p) {
+            if (in_q_[p]) {
+              q_prime_[n].push_back(p);
+              in_q_[p] = false;
+            }
+          }
+          notifier_pc_[n] = 7;
+        }
+        break;
+      case 5:  // Line 5: if e then spin_x := false
+        if (e_[n]) {
+          spin_[x_[n]] = false;
+          ++completed_notifies_;
+        }
+        notifier_pc_[n] = kNotifierDone;
+        break;
+      case 7:  // Line 7: one iteration -- remove some x from Q', clear flag
+        if (q_prime_[n].empty()) {
+          notifier_pc_[n] = kNotifierDone;
+        } else {
+          const std::size_t x = q_prime_[n].back();
+          q_prime_[n].pop_back();
+          spin_[x] = false;
+          ++completed_notifies_;
+          if (q_prime_[n].empty()) notifier_pc_[n] = kNotifierDone;
+        }
+        break;
+      default:
+        throw ModelViolation("notifier stepped when done");
+    }
+  }
+
+  [[noreturn]] void fail(const char* msg, std::size_t who) const {
+    throw ModelViolation(std::string(msg) + " (process " +
+                         std::to_string(who) + ")");
+  }
+
+  CvModelConfig cfg_;
+  std::vector<bool> spin_;
+  std::vector<bool> in_q_;
+  std::vector<int> waiter_pc_;
+  std::vector<int> notifier_pc_;
+  std::vector<bool> e_;
+  std::vector<std::size_t> x_;
+  std::vector<std::vector<std::size_t>> q_prime_;
+  std::size_t completed_waits_ = 0;
+  std::size_t completed_notifies_ = 0;
+};
+
+}  // namespace tmcv::sched

@@ -1,0 +1,184 @@
+#include "sched/explorer.h"
+
+#include "util/rng.h"
+
+namespace tmcv::sched {
+
+namespace {
+
+// Replay `prefix` from the initial state; returns false if a violation was
+// recorded (result updated).
+bool replay(Model& model, const std::vector<std::size_t>& prefix,
+            ExploreResult& result) {
+  model.reset();
+  for (std::size_t p : prefix) {
+    try {
+      model.step(p);
+      ++result.steps;
+      model.check_invariants();
+    } catch (const ModelViolation& v) {
+      ++result.violations;
+      if (result.first_error.empty()) {
+        result.first_error = v.what();
+        result.counterexample = prefix;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Frontier {
+  std::vector<std::size_t> enabled;
+  std::size_t next = 0;
+};
+
+}  // namespace
+
+ExploreResult explore_all(Model& model, std::size_t max_depth,
+                          bool stop_on_first) {
+  ExploreResult result;
+  const std::size_t n = model.process_count();
+
+  // Iterative DFS with replay: `schedule` is the current prefix; `stack`
+  // remembers which enabled choices remain at each depth.
+  std::vector<std::size_t> schedule;
+  std::vector<Frontier> stack;
+
+  auto compute_frontier = [&]() {
+    Frontier f;
+    for (std::size_t p = 0; p < n; ++p)
+      if (!model.done(p) && model.enabled(p)) f.enabled.push_back(p);
+    return f;
+  };
+
+  model.reset();
+  stack.push_back(compute_frontier());
+
+  while (!stack.empty()) {
+    Frontier& top = stack.back();
+    if (top.enabled.empty()) {
+      // No enabled process: either a final state or a deadlock.
+      bool all_done = true;
+      for (std::size_t p = 0; p < n; ++p)
+        if (!model.done(p)) all_done = false;
+      ++result.schedules;
+      if (!all_done) {
+        ++result.deadlocks;
+        if (result.first_error.empty()) {
+          result.first_error = "deadlock: enabled set empty before all done";
+          result.counterexample = schedule;
+        }
+        if (stop_on_first) return result;
+      } else {
+        try {
+          model.check_final();
+        } catch (const ModelViolation& v) {
+          ++result.violations;
+          if (result.first_error.empty()) {
+            result.first_error = v.what();
+            result.counterexample = schedule;
+          }
+          if (stop_on_first) return result;
+        }
+      }
+      // Backtrack.
+      stack.pop_back();
+      if (!schedule.empty()) schedule.pop_back();
+      if (!stack.empty() && !replay(model, schedule, result) && stop_on_first)
+        return result;
+      continue;
+    }
+    if (top.next >= top.enabled.size() || schedule.size() >= max_depth) {
+      if (schedule.size() >= max_depth && top.next < top.enabled.size()) {
+        // Depth bound hit: count as one truncated schedule.
+        ++result.schedules;
+      }
+      stack.pop_back();
+      if (!schedule.empty()) schedule.pop_back();
+      if (!stack.empty() && !replay(model, schedule, result) && stop_on_first)
+        return result;
+      continue;
+    }
+    const std::size_t p = top.enabled[top.next++];
+    schedule.push_back(p);
+    try {
+      model.step(p);
+      ++result.steps;
+      model.check_invariants();
+    } catch (const ModelViolation& v) {
+      ++result.violations;
+      if (result.first_error.empty()) {
+        result.first_error = v.what();
+        result.counterexample = schedule;
+      }
+      if (stop_on_first) return result;
+      schedule.pop_back();
+      if (!replay(model, schedule, result) && stop_on_first) return result;
+      continue;
+    }
+    stack.push_back(compute_frontier());
+  }
+  return result;
+}
+
+ExploreResult explore_random(Model& model, std::uint64_t schedules,
+                             std::uint64_t seed, std::size_t max_steps) {
+  ExploreResult result;
+  Xoshiro256 rng(seed);
+  const std::size_t n = model.process_count();
+  std::vector<std::size_t> schedule;
+  std::vector<std::size_t> enabled;
+
+  for (std::uint64_t run = 0; run < schedules; ++run) {
+    model.reset();
+    schedule.clear();
+    for (std::size_t s = 0; s < max_steps; ++s) {
+      enabled.clear();
+      for (std::size_t p = 0; p < n; ++p)
+        if (!model.done(p) && model.enabled(p)) enabled.push_back(p);
+      if (enabled.empty()) {
+        bool all_done = true;
+        for (std::size_t p = 0; p < n; ++p)
+          if (!model.done(p)) all_done = false;
+        if (!all_done) {
+          ++result.deadlocks;
+          if (result.first_error.empty()) {
+            result.first_error = "deadlock in random exploration";
+            result.counterexample = schedule;
+          }
+        } else {
+          try {
+            model.check_final();
+          } catch (const ModelViolation& v) {
+            ++result.violations;
+            if (result.first_error.empty()) {
+              result.first_error = v.what();
+              result.counterexample = schedule;
+            }
+          }
+        }
+        break;
+      }
+      const std::size_t p = enabled[rng.next_below(enabled.size())];
+      schedule.push_back(p);
+      try {
+        model.step(p);
+        ++result.steps;
+        model.check_invariants();
+      } catch (const ModelViolation& v) {
+        ++result.violations;
+        if (result.first_error.empty()) {
+          result.first_error = v.what();
+          result.counterexample = schedule;
+        }
+        break;
+      }
+    }
+    ++result.schedules;
+    if (!result.ok()) break;
+  }
+  return result;
+}
+
+}  // namespace tmcv::sched

@@ -1,0 +1,203 @@
+// Step-machine model of the *practical* condition-variable implementation
+// (Algorithms 4-6): a FIFO queue of per-thread binary semaphores, with the
+// transactional sections of WAIT/NOTIFY as single atomic steps and the
+// semaphore post deferred to a separate commit step (the onCommit handler).
+//
+// This complements cv_model.h (Algorithm 2): the explorer checks that the
+// implementation-level structure preserves the specification's properties
+// under every interleaving, including the windows the real code worries
+// about:
+//   * a notifier's dequeue committing while the waiter has not yet reached
+//     its SEMWAIT (the post must "stick" -- token semantics);
+//   * the post being delayed arbitrarily after the dequeue (deferred
+//     onCommit, §3.2) -- modeled as a separate step that the scheduler may
+//     postpone;
+//   * NOTIFYALL draining while enqueuers race in.
+//
+// Checked invariants:
+//   (I1) queue nodes are distinct and only ever owned by enqueued waiters;
+//   (I2) token conservation: sem[p] <= 1, and sem[p]=1 only between a
+//        dequeue of p and p's SEMWAIT;
+//   (I3) a waiter past SEMWAIT was dequeued exactly once (no spurious);
+//   (I4) completed waits never exceed completed posts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/explorer.h"
+
+namespace tmcv::sched {
+
+enum class QNotifyOp : std::uint8_t { One, All };
+
+struct QueueModelConfig {
+  std::size_t waiters = 2;
+  std::vector<QNotifyOp> notifier_program;
+  bool guarded_notify = true;  // notify ops wait for a nonempty queue
+};
+
+class QueueModel final : public Model {
+ public:
+  explicit QueueModel(QueueModelConfig config) : cfg_(std::move(config)) {
+    reset();
+  }
+
+  void reset() override {
+    queue_.clear();
+    sem_.assign(cfg_.waiters, 0);
+    dequeued_count_.assign(cfg_.waiters, 0);
+    waiter_pc_.assign(cfg_.waiters, WEnqueue);
+    notifier_pc_.assign(cfg_.notifier_program.size(), NSelect);
+    pending_posts_.assign(cfg_.notifier_program.size(),
+                          std::vector<std::size_t>{});
+    completed_waits_ = 0;
+    completed_posts_ = 0;
+  }
+
+  [[nodiscard]] std::size_t process_count() const override {
+    return cfg_.waiters + cfg_.notifier_program.size();
+  }
+
+  [[nodiscard]] bool done(std::size_t p) const override {
+    if (p < cfg_.waiters) return waiter_pc_[p] == WDone;
+    return notifier_pc_[p - cfg_.waiters] == NDone;
+  }
+
+  [[nodiscard]] bool enabled(std::size_t p) const override {
+    if (p < cfg_.waiters) {
+      // SEMWAIT blocks until the token arrives.
+      if (waiter_pc_[p] == WSemWait) return sem_[p] > 0;
+      return waiter_pc_[p] != WDone;
+    }
+    const std::size_t n = p - cfg_.waiters;
+    if (notifier_pc_[n] == NDone) return false;
+    if (notifier_pc_[n] == NSelect && cfg_.guarded_notify && queue_.empty())
+      return false;
+    return true;
+  }
+
+  void step(std::size_t p) override {
+    if (p < cfg_.waiters)
+      step_waiter(p);
+    else
+      step_notifier(p - cfg_.waiters);
+  }
+
+  void check_invariants() const override {
+    // (I1) queue entries distinct, each owner is a waiter parked before or
+    // at SEMWAIT and not yet dequeued.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      const std::size_t p = queue_[i];
+      for (std::size_t j = i + 1; j < queue_.size(); ++j)
+        if (queue_[j] == p) fail("I1: duplicate node in queue", p);
+      if (waiter_pc_[p] != WSemWait)
+        fail("I1: queued waiter not at SEMWAIT", p);
+      if (sem_[p] != 0) fail("I2: queued waiter already has a token", p);
+    }
+    for (std::size_t p = 0; p < cfg_.waiters; ++p) {
+      // (I2) binary token.
+      if (sem_[p] > 1) fail("I2: semaphore value exceeds 1", p);
+      // (I3) a waiter done its wait must have been dequeued exactly once
+      // per completed wait (single-shot model: exactly 1).
+      if (waiter_pc_[p] == WDone && dequeued_count_[p] != 1)
+        fail("I3: completed wait without exactly one dequeue", p);
+      // A waiter holding a token must have been dequeued already.
+      if (sem_[p] == 1 && dequeued_count_[p] == 0)
+        fail("I2: token exists without a dequeue", p);
+    }
+    // (I4)
+    if (completed_waits_ > completed_posts_)
+      fail("I4: more completed waits than posts", 0);
+  }
+
+  void check_final() const override {
+    // In a final state no token may be stranded while its owner finished.
+    for (std::size_t p = 0; p < cfg_.waiters; ++p)
+      if (waiter_pc_[p] == WDone && sem_[p] != 0)
+        throw ModelViolation("final: leftover token after completed wait");
+  }
+
+  [[nodiscard]] std::size_t completed_waits() const noexcept {
+    return completed_waits_;
+  }
+
+ private:
+  // Waiter program counters: the three phases of WAIT that matter for
+  // interleaving (lines 2-8 as one transaction, line 9 implicit, line 10).
+  enum WaiterPc : int { WEnqueue = 0, WSemWait = 1, WDone = 99 };
+  // Notifier: the dequeue transaction, then the (deferrable) post step per
+  // selected waiter.
+  enum NotifierPc : int { NSelect = 0, NPost = 1, NDone = 99 };
+
+  void step_waiter(std::size_t p) {
+    switch (waiter_pc_[p]) {
+      case WEnqueue:  // the enqueue transaction commits (+ ENDSYNCBLOCK)
+        queue_.push_back(p);
+        waiter_pc_[p] = WSemWait;
+        break;
+      case WSemWait:  // enabled only when sem_[p] > 0: consume the token
+        --sem_[p];
+        ++completed_waits_;
+        waiter_pc_[p] = WDone;
+        break;
+      default:
+        throw ModelViolation("waiter stepped when done");
+    }
+  }
+
+  void step_notifier(std::size_t n) {
+    switch (notifier_pc_[n]) {
+      case NSelect: {  // the dequeue transaction commits
+        if (queue_.empty()) {
+          // Unguarded lost notify: operation completes with no effect.
+          notifier_pc_[n] = NDone;
+          return;
+        }
+        if (cfg_.notifier_program[n] == QNotifyOp::One) {
+          pending_posts_[n].push_back(queue_.front());
+          ++dequeued_count_[queue_.front()];
+          queue_.pop_front();
+        } else {
+          for (std::size_t p : queue_) {
+            pending_posts_[n].push_back(p);
+            ++dequeued_count_[p];
+          }
+          queue_.clear();
+        }
+        notifier_pc_[n] = NPost;
+        break;
+      }
+      case NPost: {  // one deferred onCommit post per step
+        const std::size_t p = pending_posts_[n].back();
+        pending_posts_[n].pop_back();
+        ++sem_[p];
+        ++completed_posts_;
+        if (pending_posts_[n].empty()) notifier_pc_[n] = NDone;
+        break;
+      }
+      default:
+        throw ModelViolation("notifier stepped when done");
+    }
+  }
+
+  [[noreturn]] void fail(const char* msg, std::size_t who) const {
+    throw ModelViolation(std::string(msg) + " (process " +
+                         std::to_string(who) + ")");
+  }
+
+  QueueModelConfig cfg_;
+  std::deque<std::size_t> queue_;            // FIFO of waiting threads
+  std::vector<int> sem_;                     // per-thread binary semaphores
+  std::vector<int> dequeued_count_;          // dequeues per waiter
+  std::vector<int> waiter_pc_;
+  std::vector<int> notifier_pc_;
+  std::vector<std::vector<std::size_t>> pending_posts_;  // onCommit handlers
+  std::size_t completed_waits_ = 0;
+  std::size_t completed_posts_ = 0;
+};
+
+}  // namespace tmcv::sched

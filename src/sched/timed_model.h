@@ -1,0 +1,212 @@
+// Step-machine model of the timed-wait race protocol (CondVar::wait_for):
+//
+//   waiter:   enqueue ; arm timer ; then either
+//               (a) consume token            -> notified
+//               (b) timeout fires -> try to remove own node:
+//                     removed     -> timed out
+//                     not found   -> a notifier selected us: consume the
+//                                    (possibly still pending) token -> notified
+//   notifier: dequeue (atomic)  ; post token (separate, deferrable step)
+//
+// The timeout itself is modeled as a nondeterministic step that is always
+// enabled while the waiter is parked -- the explorer therefore covers every
+// relative order of {timeout, dequeue, post}.  Checked:
+//   * exactly one of {timeout-removal, notify-dequeue} wins per wait;
+//   * a waiter reports "notified" iff a dequeue selected it;
+//   * no token is leaked (semaphore drained in final states) or duplicated.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/explorer.h"
+
+namespace tmcv::sched {
+
+struct TimedModelConfig {
+  std::size_t waiters = 1;
+  std::size_t notifiers = 1;  // each performs one NotifyOne
+};
+
+class TimedWaitModel final : public Model {
+ public:
+  explicit TimedWaitModel(TimedModelConfig config) : cfg_(config) { reset(); }
+
+  void reset() override {
+    queue_.clear();
+    sem_.assign(cfg_.waiters, 0);
+    dequeued_.assign(cfg_.waiters, false);
+    outcome_.assign(cfg_.waiters, Outcome::Pending);
+    waiter_pc_.assign(cfg_.waiters, WEnqueue);
+    notifier_pc_.assign(cfg_.notifiers, NSelect);
+    notifier_victim_.assign(cfg_.notifiers, kNone);
+  }
+
+  [[nodiscard]] std::size_t process_count() const override {
+    // Each waiter is two processes: the thread itself and its timer.
+    return cfg_.waiters * 2 + cfg_.notifiers;
+  }
+
+  [[nodiscard]] bool done(std::size_t p) const override {
+    if (p < cfg_.waiters) return waiter_pc_[p] == WDone;
+    if (p < cfg_.waiters * 2) {
+      // Timer process: done once fired or once its waiter finished.
+      const std::size_t w = p - cfg_.waiters;
+      return waiter_pc_[w] != WParked;
+    }
+    return notifier_pc_[p - cfg_.waiters * 2] == NDone;
+  }
+
+  [[nodiscard]] bool enabled(std::size_t p) const override {
+    if (p < cfg_.waiters) {
+      switch (waiter_pc_[p]) {
+        case WEnqueue:
+          return true;
+        case WParked:
+          return sem_[p] > 0;  // wake on token
+        case WMustConsume:
+          return sem_[p] > 0;  // post may still be pending
+        case WRemove:
+          return true;
+        default:
+          return false;
+      }
+    }
+    if (p < cfg_.waiters * 2) {
+      // The timer can fire at any moment while its waiter is parked.
+      const std::size_t w = p - cfg_.waiters;
+      return waiter_pc_[w] == WParked;
+    }
+    const std::size_t n = p - cfg_.waiters * 2;
+    // NSelect is always enabled: an empty queue makes it a lost notify.
+    return notifier_pc_[n] == NSelect || notifier_pc_[n] == NPost;
+  }
+
+  void step(std::size_t p) override {
+    if (p < cfg_.waiters) {
+      step_waiter(p);
+    } else if (p < cfg_.waiters * 2) {
+      // Timer fires: the waiter moves to the removal attempt.
+      const std::size_t w = p - cfg_.waiters;
+      if (waiter_pc_[w] == WParked) waiter_pc_[w] = WRemove;
+    } else {
+      step_notifier(p - cfg_.waiters * 2);
+    }
+  }
+
+  void check_invariants() const override {
+    for (std::size_t w = 0; w < cfg_.waiters; ++w) {
+      if (sem_[w] > 1) fail("token duplicated", w);
+      if (sem_[w] == 1 && !dequeued_[w])
+        fail("token exists without a dequeue", w);
+      if (outcome_[w] == Outcome::TimedOut && dequeued_[w])
+        fail("reported timeout but a notifier selected this waiter", w);
+      if (outcome_[w] == Outcome::Notified && !dequeued_[w])
+        fail("reported notified without a dequeue", w);
+    }
+  }
+
+  void check_final() const override {
+    for (std::size_t w = 0; w < cfg_.waiters; ++w) {
+      if (sem_[w] != 0)
+        throw ModelViolation("final: leaked token for waiter " +
+                             std::to_string(w));
+      if (outcome_[w] == Outcome::Pending)
+        throw ModelViolation("final: waiter never resolved");
+    }
+  }
+
+  enum class Outcome : std::uint8_t { Pending, Notified, TimedOut };
+
+  [[nodiscard]] Outcome outcome(std::size_t w) const { return outcome_[w]; }
+
+ private:
+  enum WaiterPc : int {
+    WEnqueue = 0,
+    WParked = 1,       // sleeping; token or timer resolves
+    WRemove = 2,       // timed out: transactional self-removal attempt
+    WMustConsume = 3,  // removal found nothing: absorb the incoming token
+    WDone = 99,
+  };
+  enum NotifierPc : int { NSelect = 0, NPost = 1, NDone = 99 };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void step_waiter(std::size_t w) {
+    switch (waiter_pc_[w]) {
+      case WEnqueue:
+        queue_.push_back(w);
+        waiter_pc_[w] = WParked;
+        break;
+      case WParked:  // token available: normal notified wake
+        --sem_[w];
+        outcome_[w] = Outcome::Notified;
+        waiter_pc_[w] = WDone;
+        break;
+      case WRemove: {  // the try_remove_self transaction (atomic)
+        bool found = false;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (*it == w) {
+            queue_.erase(it);
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          outcome_[w] = Outcome::TimedOut;
+          waiter_pc_[w] = WDone;
+        } else {
+          // Dequeued concurrently: the paper-extension protocol absorbs
+          // the (possibly still pending) token and reports notified.
+          waiter_pc_[w] = WMustConsume;
+        }
+        break;
+      }
+      case WMustConsume:
+        --sem_[w];
+        outcome_[w] = Outcome::Notified;
+        waiter_pc_[w] = WDone;
+        break;
+      default:
+        throw ModelViolation("waiter stepped when done");
+    }
+  }
+
+  void step_notifier(std::size_t n) {
+    switch (notifier_pc_[n]) {
+      case NSelect:
+        if (queue_.empty()) {  // lost notify
+          notifier_pc_[n] = NDone;
+          break;
+        }
+        notifier_victim_[n] = queue_.front();
+        dequeued_[queue_.front()] = true;
+        queue_.pop_front();
+        notifier_pc_[n] = NPost;
+        break;
+      case NPost:
+        ++sem_[notifier_victim_[n]];
+        notifier_pc_[n] = NDone;
+        break;
+      default:
+        throw ModelViolation("notifier stepped when done");
+    }
+  }
+
+  [[noreturn]] void fail(const char* msg, std::size_t who) const {
+    throw ModelViolation(std::string(msg) + " (waiter " +
+                         std::to_string(who) + ")");
+  }
+
+  TimedModelConfig cfg_;
+  std::deque<std::size_t> queue_;
+  std::vector<int> sem_;
+  std::vector<bool> dequeued_;
+  std::vector<Outcome> outcome_;
+  std::vector<int> waiter_pc_;
+  std::vector<int> notifier_pc_;
+  std::vector<std::size_t> notifier_victim_;
+};
+
+}  // namespace tmcv::sched

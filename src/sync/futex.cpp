@@ -1,0 +1,48 @@
+#include "sync/futex.h"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <ctime>
+
+namespace tmcv {
+
+namespace {
+
+long sys_futex(const void* addr, int op, std::uint32_t val,
+               const struct timespec* timeout = nullptr) noexcept {
+  return syscall(SYS_futex, addr, op, val, timeout, nullptr, 0);
+}
+
+}  // namespace
+
+void futex_wait(const std::atomic<std::uint32_t>* addr,
+                std::uint32_t expected) noexcept {
+  // FUTEX_WAIT_PRIVATE: this library never shares futex words across
+  // processes, and the private flavor avoids the hash-global locks.
+  sys_futex(addr, FUTEX_WAIT_PRIVATE, expected);
+  // EINTR/EAGAIN are fine: the caller rechecks its predicate.
+}
+
+bool futex_wait_for(const std::atomic<std::uint32_t>* addr,
+                    std::uint32_t expected,
+                    std::uint64_t timeout_ns) noexcept {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1000000000ull);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1000000000ull);
+  const long rc = sys_futex(addr, FUTEX_WAIT_PRIVATE, expected, &ts);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+
+int futex_wake(const std::atomic<std::uint32_t>* addr, int count) noexcept {
+  const long woken = sys_futex(
+      addr, FUTEX_WAKE_PRIVATE,
+      count < 0 ? static_cast<std::uint32_t>(INT_MAX)
+                : static_cast<std::uint32_t>(count));
+  return woken < 0 ? 0 : static_cast<int>(woken);
+}
+
+}  // namespace tmcv

@@ -1,0 +1,33 @@
+// Thin wrapper over the Linux futex syscall.
+//
+// All blocking in this library ultimately funnels through these two calls:
+// the semaphores in semaphore.h use them to sleep waiters and wake them from
+// notifiers.  Keeping the wrapper minimal (no timeouts on the fast path, no
+// requeue) makes the correctness argument for the condition-variable
+// algorithm small.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tmcv {
+
+// Block the calling thread while `*addr == expected`.
+// Returns immediately if the value already differs.  Spurious returns are
+// possible at THIS layer (EINTR); the semaphore layer absorbs them so that
+// the condition variable built on top is spurious-wakeup-free.
+void futex_wait(const std::atomic<std::uint32_t>* addr,
+                std::uint32_t expected) noexcept;
+
+// As futex_wait, but give up after `timeout_ns` nanoseconds.  Returns false
+// on timeout, true otherwise (woken, value mismatch, or EINTR -- callers
+// recheck their predicate either way).
+bool futex_wait_for(const std::atomic<std::uint32_t>* addr,
+                    std::uint32_t expected,
+                    std::uint64_t timeout_ns) noexcept;
+
+// Wake up to `count` threads blocked in futex_wait on `addr`.
+// Returns the number of threads actually woken.
+int futex_wake(const std::atomic<std::uint32_t>* addr, int count) noexcept;
+
+}  // namespace tmcv

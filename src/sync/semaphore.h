@@ -1,0 +1,191 @@
+// User-space counting and binary semaphores built on futex.
+//
+// These are the `sem_t` stand-ins of the paper (Algorithm 3): each thread
+// owns one binary semaphore; the condition variable queues references to
+// them.  The fast path (uncontended post/wait) is a single atomic RMW and
+// never enters the kernel; waiters sleep on a futex.
+//
+// Guarantee relied on by the condition-variable proofs: `wait()` returns only
+// after a matching `post()` has consumed-nothing-else — i.e. the semaphore
+// count is a conserved token count, so no spurious wakeups can propagate to
+// the layer above.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "sync/futex.h"
+#include "util/cacheline.h"
+
+namespace tmcv {
+
+// Counting semaphore.  value_ layout: the low 32 bits hold the count; a
+// separate waiter count lets post() skip futex_wake when nobody sleeps.
+class Semaphore {
+ public:
+  explicit Semaphore(std::uint32_t initial = 0) noexcept : count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Consume one token, blocking until one is available.
+  void wait() noexcept {
+    // Fast path: decrement a positive count.
+    std::uint32_t c = count_.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        return;
+    }
+    wait_slow();
+  }
+
+  // Try to consume one token without blocking.
+  [[nodiscard]] bool try_wait() noexcept {
+    std::uint32_t c = count_.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        return true;
+    }
+    return false;
+  }
+
+  // Consume one token within `timeout_ns` nanoseconds; false on timeout.
+  [[nodiscard]] bool wait_for(std::uint64_t timeout_ns) noexcept {
+    if (try_wait()) return true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(timeout_ns);
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      if (try_wait()) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return true;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+        return try_wait();
+      }
+      const auto remaining = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                               now)
+              .count());
+      (void)futex_wait_for(&count_, 0, remaining);
+    }
+  }
+
+  // Produce one token and wake a waiter if any.
+  void post() noexcept {
+    count_.fetch_add(1, std::memory_order_release);
+    if (waiters_.load(std::memory_order_seq_cst) > 0)
+      futex_wake(&count_, 1);
+  }
+
+  // Produce `n` tokens (used by notify-all style wakeups on shared sems).
+  void post(std::uint32_t n) noexcept {
+    count_.fetch_add(n, std::memory_order_release);
+    if (waiters_.load(std::memory_order_seq_cst) > 0)
+      futex_wake(&count_, static_cast<int>(n));
+  }
+
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void wait_slow() noexcept {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      std::uint32_t c = count_.load(std::memory_order_relaxed);
+      while (c > 0) {
+        if (count_.compare_exchange_weak(c, c - 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          waiters_.fetch_sub(1, std::memory_order_seq_cst);
+          return;
+        }
+      }
+      futex_wait(&count_, 0);
+    }
+  }
+
+  // Separate lines: posts touch count_ always but waiters_ only on the
+  // contended path; keeping them apart avoids false sharing with the
+  // adjacent thread's semaphore in the per-thread node pool.
+  alignas(kCacheLine) std::atomic<std::uint32_t> count_;
+  alignas(kCacheLine) std::atomic<std::uint32_t> waiters_{0};
+};
+
+// Binary semaphore: a Semaphore whose count is clamped to {0, 1}.  post() on
+// an already-signaled binary semaphore is idempotent, which is the behaviour
+// Algorithm 2's `spin` flags need if a thread can be notified at most once
+// per wait (our condvar guarantees that, but the clamp keeps the primitive
+// independently safe).
+class BinarySemaphore {
+ public:
+  explicit BinarySemaphore(bool signaled = false) noexcept
+      : state_(signaled ? 1u : 0u) {}
+
+  BinarySemaphore(const BinarySemaphore&) = delete;
+  BinarySemaphore& operator=(const BinarySemaphore&) = delete;
+
+  void wait() noexcept {
+    // Fast path: consume the token.
+    std::uint32_t one = 1;
+    if (state_.compare_exchange_strong(one, 0, std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+      return;
+    wait_slow();
+  }
+
+  [[nodiscard]] bool try_wait() noexcept {
+    std::uint32_t one = 1;
+    return state_.compare_exchange_strong(one, 0, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  // Consume the token within `timeout_ns` nanoseconds; false on timeout.
+  // Used by the timed condition-variable waits: a post that raced the
+  // timeout is NOT consumed here (the caller resolves the race against the
+  // wait queue and calls wait() if it was in fact notified).
+  [[nodiscard]] bool wait_for(std::uint64_t timeout_ns) noexcept {
+    if (try_wait()) return true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(timeout_ns);
+    for (;;) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return try_wait();
+      const auto remaining = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                               now)
+              .count());
+      (void)futex_wait_for(&state_, 0, remaining);
+      if (try_wait()) return true;
+    }
+  }
+
+  void post() noexcept {
+    if (state_.exchange(1, std::memory_order_release) == 0)
+      futex_wake(&state_, 1);
+  }
+
+  [[nodiscard]] bool signaled() const noexcept {
+    return state_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  void wait_slow() noexcept {
+    for (;;) {
+      std::uint32_t one = 1;
+      if (state_.compare_exchange_strong(one, 0, std::memory_order_acquire,
+                                         std::memory_order_relaxed))
+        return;
+      futex_wait(&state_, 0);
+    }
+  }
+
+  alignas(kCacheLine) std::atomic<std::uint32_t> state_;
+};
+
+}  // namespace tmcv

@@ -1,0 +1,275 @@
+// Public TM API: tm::atomically, tm::irrevocably, tm::on_commit, tm::var.
+//
+// Transactions are closures.  `atomically(fn)` runs `fn` speculatively and
+// retries it on conflict; because a retried closure re-executes from its
+// first instruction with freshly captured state, this API is naturally
+// continuation-friendly: the paper's WAIT splits a transaction by committing
+// early inside the closure and running the continuation as a second closure
+// (see core/condvar.h).
+//
+// Nesting is flat (paper §4.3): a nested atomically() merges into the
+// enclosing transaction and the whole flat nest commits/aborts together.
+//
+// Contention management: randomized exponential backoff between retries and
+// escalation to the serial-irrevocable mode after a bounded number of
+// attempts, which guarantees progress even on heavily oversubscribed
+// machines.  The HTM backend escalates after very few attempts, emulating
+// RTM's lock-elision fallback.
+//
+// Thread-safety note on statistics: stats_snapshot / stats_reset assume no
+// transaction is concurrently in flight (call them between benchmark phases).
+#pragma once
+
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "tm/descriptor.h"
+#include "util/backoff.h"
+#include "util/rng.h"
+
+namespace tmcv::tm {
+
+// Retry budgets before escalating to the serial lock.
+inline constexpr int kStmAttemptsBeforeSerial = 64;
+inline constexpr int kHtmAttemptsBeforeSerial = 8;
+
+// Process-wide default backend for transactions that do not name one.
+void set_default_backend(Backend b) noexcept;
+[[nodiscard]] Backend default_backend() noexcept;
+
+[[nodiscard]] inline bool in_txn() noexcept { return descriptor().in_txn(); }
+
+// Register work to run after the outermost enclosing transaction commits
+// (immediately when no transaction is active).  REGISTERHANDLER of
+// Algorithms 5 and 6.
+inline void on_commit(std::function<void()> fn) {
+  descriptor().on_commit(std::move(fn));
+}
+
+// Register compensation to run if the enclosing transaction aborts.
+inline void on_abort(std::function<void()> fn) {
+  descriptor().on_abort(std::move(fn));
+}
+
+// Models "a syscall aborts a hardware transaction" (§3.2).  The condvar
+// implementation calls this in front of every semaphore operation; correct
+// usage never trips it because WAIT commits before sleeping and NOTIFY
+// defers posts via on_commit.
+inline void syscall_fence() { descriptor().syscall_fence(); }
+
+// Explicitly abort and retry the current transaction (self-abort).
+[[noreturn]] inline void retry_txn() {
+  descriptor().abort_restart(TxAbort::Reason::Explicit);
+}
+
+// Harris-style "retry" (Composable Memory Transactions; the alternative
+// condition-synchronization mechanism the paper's §6/§7 discuss): abort
+// this transaction and block until some other transaction commits writes,
+// then re-execute the closure from the top.  Use inside tm::atomically:
+//
+//   tm::atomically([&] {
+//     if (queue_empty()) tm::retry_wait();   // sleeps, then re-runs
+//     consume();
+//   });
+//
+// Wake granularity is any-writing-commit (conservative: never loses a
+// wakeup, may re-check the predicate spuriously often under unrelated
+// commit traffic -- the classic trade-off versus condvar-style explicit
+// notification, measurable with bench/ablation_retry).
+[[noreturn]] inline void retry_wait() { descriptor().retry_and_wait(); }
+
+// Punctuated transactions (Smaragdakis et al., discussed in the paper's
+// §6): commit the enclosing transaction *now*, run `between` outside any
+// transaction (it may block, perform I/O, sleep on a semaphore...), then
+// resume a transactional context for the remainder of the enclosing
+// atomically() closure.  The WAIT algorithm is the specialization where
+// `between` is SEMWAIT(sem).  The continuation resumes irrevocably by
+// default; pass false only when the remainder provably cannot abort.
+// The programmer owns re-checking invariants that may have been broken
+// while atomicity was suspended -- exactly the monitor discipline.
+template <typename F>
+void punctuate(F&& between, bool irrevocable_resume = true) {
+  TxDescriptor& d = descriptor();
+  TMCV_ASSERT_MSG(d.in_txn(), "punctuate requires a transactional context");
+  d.end_sync_block();
+  between();
+  d.begin_sync_block(irrevocable_resume);
+}
+
+namespace detail {
+
+void backoff_before_retry(int attempt) noexcept;
+
+// Park until the commit signal moves past `observed` (retry_wait support).
+void retry_sleep(std::uint32_t observed) noexcept;
+
+template <typename F>
+void run_optimistic(Backend backend, F&& fn) {
+  TxDescriptor& d = descriptor();
+  if (backend == Backend::Hybrid && !d.in_txn()) {
+    // Hybrid policy: a handful of hardware attempts, then software, then
+    // (via the EagerSTM budget below) the serial lock.  TxAbort from the
+    // HTM attempts is consumed here; anything else propagates.
+    for (int attempt = 1; attempt <= kHtmAttemptsBeforeSerial; ++attempt) {
+      d.begin_top(Backend::HTM);
+      try {
+        fn();
+        d.commit_top();
+        return;
+      } catch (const TxAbort& abort) {
+        d.after_abort();
+        if (abort.reason == TxAbort::Reason::RetryWait) {
+          retry_sleep(static_cast<std::uint32_t>(abort.retry_signal));
+          --attempt;
+        } else {
+          backoff_before_retry(attempt);
+        }
+      } catch (...) {
+        if (d.in_txn()) {
+          try {
+            d.abort_restart(TxAbort::Reason::Explicit);
+          } catch (const TxAbort&) {
+          }
+        }
+        throw;
+      }
+    }
+    backend = Backend::EagerSTM;  // software fallback
+  } else if (backend == Backend::Hybrid) {
+    backend = Backend::EagerSTM;  // nested: merge into the software nest
+  }
+  if (d.in_txn()) {
+    // Flat nesting: merge into the enclosing transaction.  TxAbort from the
+    // body must propagate to the outermost retry loop untouched.
+    d.push_nested();
+    try {
+      fn();
+    } catch (...) {
+      // The descriptor may already be Idle (abort paths reset it); only
+      // adjust depth when the transaction is still alive.
+      if (d.in_txn()) d.pop_nested();
+      throw;
+    }
+    if (d.in_txn()) d.pop_nested();  // a split WAIT may have closed the txn
+    return;
+  }
+  const int budget = backend == Backend::HTM ? kHtmAttemptsBeforeSerial
+                                             : kStmAttemptsBeforeSerial;
+  // Closures that ever executed retry_wait are *waiting*, not livelocked:
+  // they must never escalate to the serial lock (a serial closure blocks
+  // every other thread, so the awaited predicate could never become true).
+  bool has_retry_waited = false;
+  for (int attempt = 1;; ++attempt) {
+    if (attempt > budget && !has_retry_waited) {
+      // Escalate: run irrevocably under the serial lock.
+      ++d.stats().serial_fallbacks;
+      d.begin_serial();
+      try {
+        fn();
+      } catch (...) {
+        // Irrevocable transactions cannot roll back; commit what ran and
+        // propagate (mirrors GCC libitm's behaviour for unsafe exceptions).
+        // A split WAIT may already have closed the serial section.
+        if (d.state() == TxState::Serial) d.commit_serial();
+        throw;
+      }
+      d.commit_top();
+      return;
+    }
+    d.begin_top(backend);
+    try {
+      fn();
+      d.commit_top();
+      return;
+    } catch (const TxAbort& abort) {
+      d.after_abort();
+      if (abort.reason == TxAbort::Reason::RetryWait) {
+        // Deliberate waiting, not contention: park until a commit, and do
+        // not let the wait count toward serial escalation.
+        has_retry_waited = true;
+        retry_sleep(static_cast<std::uint32_t>(abort.retry_signal));
+        --attempt;
+      } else {
+        backoff_before_retry(attempt);
+      }
+    } catch (...) {
+      // A non-TM exception escaping the body aborts the transaction (all
+      // speculative effects undone) and propagates to the caller.
+      if (d.in_txn()) {
+        try {
+          d.abort_restart(TxAbort::Reason::Explicit);
+        } catch (const TxAbort&) {
+        }
+      }
+      throw;
+    }
+  }
+}
+
+}  // namespace detail
+
+// Run `fn` as an atomic transaction on the given backend, retrying on
+// conflicts.  Returns fn's result (if any); on retry the closure re-executes
+// from scratch.
+template <typename F>
+auto atomically(Backend backend, F&& fn)
+    -> std::invoke_result_t<F&> {
+  using R = std::invoke_result_t<F&>;
+  if constexpr (std::is_void_v<R>) {
+    detail::run_optimistic(backend, fn);
+  } else {
+    // Stage the result outside the transaction so a retry overwrites it.
+    // R must be default-constructible and assignable.
+    R result{};
+    detail::run_optimistic(backend, [&] { result = fn(); });
+    return result;
+  }
+}
+
+template <typename F>
+auto atomically(F&& fn) -> std::invoke_result_t<F&> {
+  return atomically(default_backend(), std::forward<F>(fn));
+}
+
+// Run `fn` irrevocably: no other transaction (optimistic or serial) runs
+// concurrently, and `fn` may perform I/O or other non-undoable actions.
+// This is the paper's "relaxed transaction" (§5.4).
+template <typename F>
+auto irrevocably(F&& fn) -> std::invoke_result_t<F&> {
+  using R = std::invoke_result_t<F&>;
+  TxDescriptor& d = descriptor();
+  if (d.in_txn()) {
+    TMCV_ASSERT_MSG(d.state() == TxState::Serial,
+                    "cannot upgrade an active optimistic transaction to "
+                    "irrevocable; declare it at the outermost atomically");
+    if constexpr (std::is_void_v<R>) {
+      fn();
+      return;
+    } else {
+      return fn();
+    }
+  }
+  d.begin_serial();
+  if constexpr (std::is_void_v<R>) {
+    try {
+      fn();
+    } catch (...) {
+      if (d.state() == TxState::Serial) d.commit_serial();
+      throw;
+    }
+    d.commit_top();
+  } else {
+    R result{};
+    try {
+      result = fn();
+    } catch (...) {
+      if (d.state() == TxState::Serial) d.commit_serial();
+      throw;
+    }
+    d.commit_top();
+    return result;
+  }
+}
+
+}  // namespace tmcv::tm

@@ -1,0 +1,35 @@
+// Global version clock shared by all STM backends (TL2-style timebase).
+//
+// Versions are logical timestamps: a committed writer advances the clock by
+// one and stamps every ownership record it released with the new value.
+// Readers validate that everything they read carries a stamp no newer than
+// their start time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/cacheline.h"
+
+namespace tmcv::tm {
+
+class VersionClock {
+ public:
+  // Current time; used as a transaction's start timestamp.
+  [[nodiscard]] std::uint64_t now() const noexcept {
+    return time_.load(std::memory_order_acquire);
+  }
+
+  // Advance and return the new (commit) timestamp.
+  std::uint64_t tick() noexcept {
+    return time_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  alignas(kCacheLine) std::atomic<std::uint64_t> time_{0};
+};
+
+// The process-wide clock instance.
+VersionClock& global_clock() noexcept;
+
+}  // namespace tmcv::tm

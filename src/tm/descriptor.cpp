@@ -1,0 +1,591 @@
+#include "tm/descriptor.h"
+
+#include <utility>
+
+#include "sync/futex.h"
+#include "tm/registry.h"
+#include "tm/serial.h"
+#include "util/backoff.h"
+#include "util/cacheline.h"
+#include "util/rng.h"
+
+namespace tmcv::tm {
+
+namespace {
+
+// Initial log capacities: typical condvar transactions touch < 10 locations
+// (paper §5.4), but application transactions can be larger.
+constexpr std::size_t kInitialLogCapacity = 64;
+
+VersionClock g_clock;
+SerialLock g_serial;
+
+}  // namespace
+
+VersionClock& global_clock() noexcept { return g_clock; }
+SerialLock& serial_lock() noexcept { return g_serial; }
+
+const char* to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::EagerSTM:
+      return "EagerSTM";
+    case Backend::LazySTM:
+      return "LazySTM";
+    case Backend::HTM:
+      return "HTM";
+    case Backend::Hybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+TxDescriptor::TxDescriptor() : slot_(0) {
+  read_set_.reserve(kInitialLogCapacity);
+  lock_set_.reserve(kInitialLogCapacity);
+  undo_log_.reserve(kInitialLogCapacity);
+  redo_log_.reserve(kInitialLogCapacity);
+}
+
+void TxDescriptor::attach() {
+  slot_ = registry().register_thread(this);
+}
+
+void TxDescriptor::detach() {
+  TMCV_ASSERT_MSG(state_ == TxState::Idle,
+                  "thread exited with an open transaction");
+  registry().unregister_thread(slot_, stats_);
+  stats_ = Stats{};
+}
+
+namespace {
+
+// Descriptor pool: storage is recycled across threads but never freed, so
+// cross-thread dereferences through the registry stay valid for the life
+// of the process (quiescence scans, epoch collection).
+std::atomic<bool> g_pool_lock{false};
+std::vector<TxDescriptor*>& pool_storage() {
+  static std::vector<TxDescriptor*> instance;
+  return instance;
+}
+
+TxDescriptor* pool_acquire() {
+  TxDescriptor* desc = nullptr;
+  Backoff backoff;
+  while (g_pool_lock.exchange(true, std::memory_order_acquire))
+    backoff.wait();
+  auto& pool = pool_storage();
+  if (!pool.empty()) {
+    desc = pool.back();
+    pool.pop_back();
+  }
+  g_pool_lock.store(false, std::memory_order_release);
+  if (desc == nullptr) desc = new TxDescriptor;  // intentionally immortal
+  desc->attach();
+  return desc;
+}
+
+void pool_release(TxDescriptor* desc) {
+  desc->detach();
+  Backoff backoff;
+  while (g_pool_lock.exchange(true, std::memory_order_acquire))
+    backoff.wait();
+  pool_storage().push_back(desc);
+  g_pool_lock.store(false, std::memory_order_release);
+}
+
+}  // namespace
+
+TxDescriptor& descriptor() noexcept {
+  struct Holder {
+    TxDescriptor* desc;
+    Holder() : desc(pool_acquire()) {}
+    ~Holder() { pool_release(desc); }
+  };
+  thread_local Holder holder;
+  return *holder.desc;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> g_gc_epoch{1};
+alignas(kCacheLine) std::atomic<std::uint32_t> g_commit_signal{0};
+alignas(kCacheLine) std::atomic<std::uint32_t> g_retry_waiters{0};
+
+// Announce a writing commit to any retry-parked transactions.
+void bump_commit_signal() noexcept {
+  g_commit_signal.fetch_add(1, std::memory_order_seq_cst);
+  if (g_retry_waiters.load(std::memory_order_seq_cst) > 0)
+    futex_wake(&g_commit_signal, -1);
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& gc_epoch_word() noexcept { return g_gc_epoch; }
+
+std::atomic<std::uint32_t>& commit_signal_word() noexcept {
+  return g_commit_signal;
+}
+
+std::atomic<std::uint32_t>& retry_waiter_count() noexcept {
+  return g_retry_waiters;
+}
+
+void TxDescriptor::announce_epoch() noexcept {
+  epoch_.store(g_gc_epoch.load(std::memory_order_seq_cst),
+               std::memory_order_seq_cst);
+}
+
+void TxDescriptor::activity_begin() noexcept {
+  activity_.fetch_add(1, std::memory_order_seq_cst);  // even -> odd
+  announce_epoch();
+}
+
+void TxDescriptor::activity_end() noexcept {
+  activity_.fetch_add(1, std::memory_order_seq_cst);  // odd -> even
+}
+
+void TxDescriptor::begin_top(Backend b, std::uint32_t depth) {
+  TMCV_ASSERT_MSG(state_ == TxState::Idle, "begin_top inside a transaction");
+  // Publish intent first, then check the serial lock: this ordering pairs
+  // with SerialLock::acquire (seq-odd first, quiescence scan second) so a
+  // serial section can never overlap an optimistic transaction.
+  for (;;) {
+    activity_begin();
+    if (!g_serial.held()) break;
+    activity_end();
+    g_serial.wait_until_free();
+  }
+  state_ = TxState::Optimistic;
+  backend_ = b;
+  depth_ = depth;
+  split_done_ = false;
+  start_time_ = g_clock.now();
+}
+
+void TxDescriptor::commit_top() {
+  if (state_ == TxState::Idle) {
+    // A split (early-committed) transaction already completed; nothing to do.
+    TMCV_ASSERT_MSG(split_done_, "commit_top outside a transaction");
+    split_done_ = false;
+    return;
+  }
+  if (state_ == TxState::Serial) {
+    commit_serial();
+    return;
+  }
+  switch (backend_) {
+    case Backend::EagerSTM:
+    case Backend::HTM:
+      commit_eager();
+      break;
+    case Backend::LazySTM:
+      commit_lazy();
+      break;
+    case Backend::Hybrid:
+      // Hybrid is resolved to a concrete backend by the retry loop before
+      // begin_top; a descriptor can never be committing in Hybrid state.
+      TMCV_ASSERT_MSG(false, "Hybrid backend reached the descriptor");
+      break;
+  }
+  state_ = TxState::Idle;
+  depth_ = 0;
+  activity_end();
+  ++stats_.commits;
+  run_commit_handlers();
+}
+
+void TxDescriptor::abort_restart(TxAbort::Reason reason) {
+  TMCV_ASSERT(state_ == TxState::Optimistic);
+  if (backend_ == Backend::HTM) {
+    if (reason == TxAbort::Reason::Capacity) ++stats_.htm_capacity_aborts;
+    if (reason == TxAbort::Reason::Syscall) ++stats_.htm_syscall_aborts;
+  }
+  rollback();
+  run_abort_handlers();
+  state_ = TxState::Idle;
+  depth_ = 0;
+  activity_end();
+  ++stats_.aborts;
+  throw TxAbort{reason};
+}
+
+void TxDescriptor::retry_and_wait() {
+  TMCV_ASSERT_MSG(state_ == TxState::Optimistic,
+                  "retry_wait requires an optimistic transaction "
+                  "(irrevocable transactions cannot roll back)");
+  // Observe the signal BEFORE validating: any commit that could invalidate
+  // the predicate decision lands after our snapshot and therefore bumps a
+  // value we have already captured -- the sleep then returns immediately.
+  const std::uint32_t observed =
+      g_commit_signal.load(std::memory_order_seq_cst);
+  if (!reads_valid()) abort_restart(TxAbort::Reason::Conflict);
+  rollback();
+  run_abort_handlers();
+  state_ = TxState::Idle;
+  depth_ = 0;
+  activity_end();
+  ++stats_.aborts;
+  TxAbort abort{TxAbort::Reason::RetryWait};
+  abort.retry_signal = observed;
+  throw abort;
+}
+
+void TxDescriptor::begin_serial(std::uint32_t depth) {
+  TMCV_ASSERT_MSG(state_ == TxState::Idle,
+                  "cannot upgrade an active optimistic transaction; declare "
+                  "irrevocability at the outermost begin");
+  g_serial.acquire(slot_);
+  announce_epoch();
+  state_ = TxState::Serial;
+  depth_ = depth;
+  split_done_ = false;
+}
+
+void TxDescriptor::commit_serial() {
+  TMCV_ASSERT(state_ == TxState::Serial);
+  state_ = TxState::Idle;
+  depth_ = 0;
+  g_serial.release();
+  ++stats_.commits;
+  ++stats_.serial_commits;
+  bump_commit_signal();  // serial sections may have written anything
+  run_commit_handlers();
+}
+
+// ---------------------------------------------------------------------------
+// Early commit / split (ENDSYNCBLOCK / BEGINSYNCBLOCK)
+// ---------------------------------------------------------------------------
+
+void TxDescriptor::end_sync_block() {
+  TMCV_ASSERT_MSG(in_txn(), "end_sync_block outside a transaction");
+  saved_depth_ = depth_;
+  // commit_top validates and publishes; on failure it throws TxAbort having
+  // rolled everything back, so the enclosing retry loop re-runs the whole
+  // body -- correct, since nothing (including the pre-WAIT enqueue) became
+  // visible.
+  commit_top();
+}
+
+void TxDescriptor::begin_sync_block(bool irrevocable) {
+  TMCV_ASSERT_MSG(state_ == TxState::Idle,
+                  "begin_sync_block inside a transaction");
+  if (irrevocable)
+    begin_serial(saved_depth_);
+  else
+    begin_top(backend_, saved_depth_);
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+std::uint64_t TxDescriptor::read_word(const std::atomic<std::uint64_t>* addr) {
+  switch (state_) {
+    case TxState::Idle:
+      TMCV_ASSERT_MSG(!split_done_,
+                      "transactional access after a split WAIT returned; put "
+                      "post-wait work in the continuation");
+      return addr->load(std::memory_order_acquire);
+    case TxState::Serial:
+      return addr->load(std::memory_order_acquire);
+    case TxState::Optimistic:
+      break;
+  }
+  if (backend_ == Backend::LazySTM) {
+    if (const RedoEntry* e = find_redo(addr)) return e->value;
+  }
+  return read_optimistic(addr);
+}
+
+void TxDescriptor::maybe_chaos_abort() {
+  if (backend_ != Backend::HTM) return;
+  const std::uint32_t rate = htm_chaos_per_million();
+  if (rate == 0) return;
+  thread_local Xoshiro256 rng(0xC4405u + slot_);
+  if (rng.next_below(1000000) < rate) {
+    ++stats_.htm_chaos_aborts;
+    abort_restart(TxAbort::Reason::Conflict);
+  }
+}
+
+std::uint64_t TxDescriptor::read_optimistic(
+    const std::atomic<std::uint64_t>* addr) {
+  maybe_chaos_abort();
+  const Orec& o = orec_for(addr);
+  for (;;) {
+    const OrecWord seen = o.load(std::memory_order_acquire);
+    if (orec_is_locked(seen)) {
+      if (orec_locked_by_me(seen)) {
+        // Eager/HTM write-through: our own speculative value is current.
+        ++stats_.reads;
+        return addr->load(std::memory_order_relaxed);
+      }
+      // Locked by a concurrent writer: conflict.
+      abort_restart(TxAbort::Reason::Conflict);
+    }
+    const std::uint64_t value = addr->load(std::memory_order_acquire);
+    if (o.load(std::memory_order_acquire) != seen) {
+      // Orec changed while we read the value; re-run the protocol.
+      continue;
+    }
+    if (orec_version(seen) > start_time_) {
+      // Newer than our snapshot.  HTM has no extension (a real hardware
+      // transaction would already have been killed by the coherence probe).
+      if (backend_ == Backend::HTM || !extend())
+        abort_restart(TxAbort::Reason::Conflict);
+      continue;  // revalidated forward; retry against the new snapshot
+    }
+    if (backend_ == Backend::HTM && read_set_.size() >= kHtmReadCapacity)
+      abort_restart(TxAbort::Reason::Capacity);
+    read_set_.push_back(ReadEntry{&o, seen});
+    ++stats_.reads;
+    return value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+void TxDescriptor::write_word(std::atomic<std::uint64_t>* addr,
+                              std::uint64_t value) {
+  switch (state_) {
+    case TxState::Idle:
+      TMCV_ASSERT_MSG(!split_done_,
+                      "transactional access after a split WAIT returned; put "
+                      "post-wait work in the continuation");
+      addr->store(value, std::memory_order_release);
+      return;
+    case TxState::Serial:
+      addr->store(value, std::memory_order_release);
+      return;
+    case TxState::Optimistic:
+      break;
+  }
+  ++stats_.writes;
+  if (backend_ == Backend::LazySTM)
+    write_lazy(addr, value);
+  else
+    write_eager(addr, value);
+}
+
+void TxDescriptor::write_eager(std::atomic<std::uint64_t>* addr,
+                               std::uint64_t value) {
+  maybe_chaos_abort();
+  Orec& o = orec_for(addr);
+  for (;;) {
+    OrecWord cur = o.load(std::memory_order_acquire);
+    if (orec_locked_by_me(cur)) break;  // stripe already owned
+    if (orec_is_locked(cur)) abort_restart(TxAbort::Reason::Conflict);
+    if (orec_version(cur) > start_time_) {
+      if (backend_ == Backend::HTM || !extend())
+        abort_restart(TxAbort::Reason::Conflict);
+      continue;
+    }
+    if (backend_ == Backend::HTM && lock_set_.size() >= kHtmWriteCapacity)
+      abort_restart(TxAbort::Reason::Capacity);
+    if (o.compare_exchange_strong(cur, make_locked(slot_),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire)) {
+      lock_set_.push_back(LockEntry{&o, cur});
+      break;
+    }
+    // CAS lost a race; re-examine the new word.
+  }
+  undo_log_.push_back(UndoEntry{addr, addr->load(std::memory_order_relaxed)});
+  addr->store(value, std::memory_order_release);
+}
+
+void TxDescriptor::write_lazy(std::atomic<std::uint64_t>* addr,
+                              std::uint64_t value) {
+  if (RedoEntry* e = find_redo(addr)) {
+    e->value = value;
+    return;
+  }
+  redo_log_.push_back(RedoEntry{addr, value});
+}
+
+// ---------------------------------------------------------------------------
+// Commit / abort
+// ---------------------------------------------------------------------------
+
+void TxDescriptor::commit_eager() {
+  if (lock_set_.empty()) {
+    // Read-only: the per-read validation already proved consistency at
+    // start_time_; nothing to publish.
+    ++stats_.ro_commits;
+    reset_logs();
+    return;
+  }
+  const std::uint64_t wt = g_clock.tick();
+  // If nobody committed since our snapshot, reads are trivially valid.
+  if (wt != start_time_ + 1 && !reads_valid())
+    abort_restart(TxAbort::Reason::Conflict);
+  for (const LockEntry& e : lock_set_)
+    e.orec->store(make_version(wt), std::memory_order_release);
+  reset_logs();
+  bump_commit_signal();
+}
+
+void TxDescriptor::commit_lazy() {
+  if (redo_log_.empty()) {
+    ++stats_.ro_commits;
+    reset_logs();
+    return;
+  }
+  // Acquire every written stripe (encounter order; duplicates share locks).
+  for (const RedoEntry& w : redo_log_) {
+    Orec& o = orec_for(w.addr);
+    if (find_lock(&o) != nullptr) continue;
+    for (;;) {
+      OrecWord cur = o.load(std::memory_order_acquire);
+      if (orec_is_locked(cur)) {
+        // Someone else is committing this stripe (or we'd have found our own
+        // lock entry): conflict.
+        abort_restart(TxAbort::Reason::Conflict);
+      }
+      if (orec_version(cur) > start_time_) {
+        if (!extend()) abort_restart(TxAbort::Reason::Conflict);
+        continue;
+      }
+      if (o.compare_exchange_strong(cur, make_locked(slot_),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+        lock_set_.push_back(LockEntry{&o, cur});
+        break;
+      }
+    }
+  }
+  const std::uint64_t wt = g_clock.tick();
+  if (wt != start_time_ + 1 && !reads_valid())
+    abort_restart(TxAbort::Reason::Conflict);
+  for (const RedoEntry& w : redo_log_)
+    w.addr->store(w.value, std::memory_order_release);
+  for (const LockEntry& e : lock_set_)
+    e.orec->store(make_version(wt), std::memory_order_release);
+  reset_logs();
+  bump_commit_signal();
+}
+
+void TxDescriptor::rollback() noexcept {
+  if (backend_ != Backend::LazySTM) {
+    // Undo in reverse so overlapping writes restore the oldest value last.
+    for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it)
+      it->addr->store(it->old_value, std::memory_order_release);
+  }
+  // Release stripes back to their pre-lock versions: the restored values are
+  // exactly what those versions stamped.
+  for (const LockEntry& e : lock_set_)
+    e.orec->store(e.prior, std::memory_order_release);
+  reset_logs();
+}
+
+bool TxDescriptor::extend() {
+  const std::uint64_t now = g_clock.now();
+  if (!reads_valid()) return false;
+  start_time_ = now;
+  ++stats_.extensions;
+  return true;
+}
+
+bool TxDescriptor::reads_valid() const noexcept {
+  for (const ReadEntry& e : read_set_) {
+    const OrecWord cur = e.orec->load(std::memory_order_acquire);
+    if (cur == e.seen) continue;
+    // A stripe we later locked ourselves is still valid: nobody else could
+    // have changed it between our (validated) read and our lock.
+    if (orec_locked_by_me(cur)) continue;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Handlers & fences
+// ---------------------------------------------------------------------------
+
+void TxDescriptor::on_commit(std::function<void()> fn) {
+  if (!in_txn()) {
+    ++stats_.handlers_run;
+    fn();
+    return;
+  }
+  commit_handlers_.push_back(std::move(fn));
+}
+
+void TxDescriptor::on_abort(std::function<void()> fn) {
+  if (!in_txn()) return;  // nothing to compensate outside a transaction
+  abort_handlers_.push_back(std::move(fn));
+}
+
+void TxDescriptor::run_commit_handlers() {
+  abort_handlers_.clear();
+  if (commit_handlers_.empty()) return;
+  // Handlers run post-commit with no transaction active; they may themselves
+  // start transactions, so drain from a moved-out copy.
+  std::vector<std::function<void()>> handlers = std::move(commit_handlers_);
+  commit_handlers_.clear();
+  for (auto& h : handlers) {
+    ++stats_.handlers_run;
+    h();
+  }
+}
+
+void TxDescriptor::run_abort_handlers() noexcept {
+  commit_handlers_.clear();
+  std::vector<std::function<void()>> handlers = std::move(abort_handlers_);
+  abort_handlers_.clear();
+  for (auto& h : handlers) h();
+}
+
+void TxDescriptor::syscall_fence() {
+  if (state_ == TxState::Optimistic && backend_ == Backend::HTM)
+    abort_restart(TxAbort::Reason::Syscall);
+}
+
+namespace {
+
+std::atomic<std::uint32_t> g_htm_chaos_per_million{0};
+
+}  // namespace
+
+void TxDescriptor::set_htm_chaos_per_million(std::uint32_t rate) noexcept {
+  g_htm_chaos_per_million.store(rate, std::memory_order_release);
+}
+
+std::uint32_t TxDescriptor::htm_chaos_per_million() noexcept {
+  return g_htm_chaos_per_million.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// Log helpers
+// ---------------------------------------------------------------------------
+
+TxDescriptor::LockEntry* TxDescriptor::find_lock(const Orec* o) noexcept {
+  for (LockEntry& e : lock_set_)
+    if (e.orec == o) return &e;
+  return nullptr;
+}
+
+TxDescriptor::RedoEntry* TxDescriptor::find_redo(
+    const std::atomic<std::uint64_t>* addr) noexcept {
+  // Linear scan: write sets in this workload are tiny (< 10 entries for all
+  // condvar transactions, per the paper).  A hash index would pay for itself
+  // only beyond ~100 entries.
+  for (RedoEntry& e : redo_log_)
+    if (e.addr == addr) return &e;
+  return nullptr;
+}
+
+void TxDescriptor::reset_logs() noexcept {
+  read_set_.clear();
+  lock_set_.clear();
+  undo_log_.clear();
+  redo_log_.clear();
+}
+
+}  // namespace tmcv::tm

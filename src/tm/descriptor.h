@@ -1,0 +1,278 @@
+// Per-thread transaction descriptor: the engine behind tm::atomically.
+//
+// One descriptor exists per thread (thread_local).  It implements three
+// optimistic backends over the same orec table and version clock:
+//
+//   EagerSTM -- the paper's "Westmere" configuration: GCC ml_wt stand-in.
+//               Encounter-time locking, write-through with an undo log.
+//   LazySTM  -- TL2-style redo logging: writes buffered, orecs acquired at
+//               commit, write-back on success.  Exercises the paper's §4.2
+//               redo-log discussion.
+//   HTM      -- the paper's "Haswell" configuration: best-effort bounded
+//               transactions.  Eager execution with hard capacity limits,
+//               no timestamp extension (first conflict aborts), explicit
+//               abort on syscall-like actions, and escalation to the serial
+//               lock after a few attempts (RTM + lock-elision stand-in).
+//
+// plus the Serial state for irrevocable/relaxed transactions.
+//
+// Aborts are signalled by throwing TxAbort after the descriptor has rolled
+// back; the retry loop lives in tm::atomically (api.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tm/clock.h"
+#include "tm/orec.h"
+#include "tm/stats.h"
+#include "util/assert.h"
+
+namespace tmcv::tm {
+
+enum class Backend : std::uint8_t {
+  EagerSTM,
+  LazySTM,
+  HTM,
+  // Hybrid TM (the deployment real RTM systems use): a few hardware
+  // attempts, then software transactions, then the serial lock.  Resolved
+  // by the retry loop; the descriptor itself never runs in Hybrid state.
+  Hybrid,
+};
+
+[[nodiscard]] const char* to_string(Backend b) noexcept;
+
+// Thrown (after rollback) to unwind to the retry loop.  User code must not
+// swallow it; tm::atomically rethrows anything else after aborting.
+struct TxAbort {
+  enum class Reason : std::uint8_t {
+    Conflict,
+    Capacity,
+    Syscall,
+    Explicit,
+    RetryWait,  // Harris-style retry: sleep until some commit, then re-run
+  };
+  Reason reason = Reason::Conflict;
+  // For RetryWait: the commit-signal value observed before aborting (the
+  // retry loop sleeps until the signal moves past it).
+  std::uint64_t retry_signal = 0;
+};
+
+enum class TxState : std::uint8_t { Idle, Optimistic, Serial };
+
+class TxDescriptor {
+ public:
+  TxDescriptor();
+  ~TxDescriptor() = default;
+
+  TxDescriptor(const TxDescriptor&) = delete;
+  TxDescriptor& operator=(const TxDescriptor&) = delete;
+
+  // Descriptors are pooled, never destroyed while the process runs: the
+  // serial lock's quiescence scan and the epoch collector dereference other
+  // threads' descriptors through the registry, so their storage must stay
+  // valid.  attach/detach bind a pooled descriptor to the current thread.
+  void attach();
+  void detach();
+
+  // ---- lifecycle (driven by tm::atomically / tm::irrevocably) ----
+
+  [[nodiscard]] TxState state() const noexcept { return state_; }
+  [[nodiscard]] bool in_txn() const noexcept { return state_ != TxState::Idle; }
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t slot() const noexcept { return slot_; }
+
+  // Begin a top-level optimistic transaction (waits out any serial section).
+  void begin_top(Backend b, std::uint32_t depth = 1);
+
+  // Flat nesting bookkeeping for nested atomically() blocks.
+  void push_nested() noexcept { ++depth_; }
+  void pop_nested() noexcept {
+    TMCV_DEBUG_ASSERT(depth_ > 1);
+    --depth_;
+  }
+
+  // Commit the top-level transaction (validate, publish, run handlers).
+  // Throws TxAbort if validation fails (after rolling back).
+  void commit_top();
+
+  // Roll back and throw TxAbort (optimistic transactions only).
+  [[noreturn]] void abort_restart(TxAbort::Reason reason);
+
+  // Harris-style retry (paper §6/§7): validate the snapshot, roll back,
+  // and throw a RetryWait abort carrying the current commit-signal value;
+  // the retry loop sleeps until some writing commit bumps the signal, then
+  // re-runs the closure.  Coarse (any commit wakes) but lost-wakeup-free:
+  // the signal is observed before validation, so no commit that could have
+  // changed the predicate is missed.
+  [[noreturn]] void retry_and_wait();
+
+  // Called by the retry loop after catching TxAbort: bookkeeping only (the
+  // throwing path already rolled back).
+  void after_abort() noexcept {}
+
+  // ---- serial / irrevocable ----
+
+  void begin_serial(std::uint32_t depth = 1);
+  void commit_serial();
+
+  // ---- early commit & split transactions (WAIT support, paper §3.2/§4.2) --
+
+  // ENDSYNCBLOCK inside a transaction: commit *now*, at any depth.  Saves the
+  // depth so the continuation can be resumed at the same nesting level.
+  // Throws TxAbort if the commit-time validation fails (the enclosing
+  // atomically retries the whole body, which is correct: nothing published).
+  void end_sync_block();
+
+  // BEGINSYNCBLOCK for the continuation: a fresh transaction at the saved
+  // depth.  `irrevocable` selects the §4.3 "run the continuation
+  // irrevocably" mode that permits the traditional (non-CPS) interface.
+  void begin_sync_block(bool irrevocable);
+
+  [[nodiscard]] std::uint32_t saved_depth() const noexcept {
+    return saved_depth_;
+  }
+
+  // Split-completion protocol: when a CPS wait fully handles the second half
+  // itself, it marks the split done; commit_top then becomes a no-op once.
+  void mark_split_done() noexcept { split_done_ = true; }
+  [[nodiscard]] bool split_done() const noexcept { return split_done_; }
+  void clear_split_done() noexcept { split_done_ = false; }
+
+  // ---- data access ----
+
+  [[nodiscard]] std::uint64_t read_word(const std::atomic<std::uint64_t>* addr);
+  void write_word(std::atomic<std::uint64_t>* addr, std::uint64_t value);
+
+  // ---- handlers (REGISTERHANDLER of Algorithms 5/6) ----
+
+  // Deferred until after the outermost commit; discarded on abort.  Runs
+  // immediately when no transaction is active.
+  void on_commit(std::function<void()> fn);
+
+  // Run if the transaction aborts (compensation); discarded on commit.
+  void on_abort(std::function<void()> fn);
+
+  // Abort if executing inside a hardware transaction: models the fact that a
+  // syscall (futex wait/wake) inside RTM aborts the transaction (§3.2).
+  void syscall_fence();
+
+  // ---- quiescence (used by SerialLock) ----
+
+  [[nodiscard]] std::uint64_t activity() const noexcept {
+    return activity_.load(std::memory_order_seq_cst);
+  }
+
+  // ---- epoch GC support (see tm/epoch.h) ----
+
+  [[nodiscard]] std::uint64_t announced_epoch() const noexcept {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  // ---- stats ----
+  Stats& stats() noexcept { return stats_; }
+
+  // HTM emulation capacities (exposed for tests/benchmarks).
+  static constexpr std::size_t kHtmReadCapacity = 1024;
+  static constexpr std::size_t kHtmWriteCapacity = 64;
+
+  // Chaos injection for the HTM emulation: real hardware transactions
+  // abort asynchronously (timer interrupts, cache evictions, TLB misses);
+  // setting a nonzero rate makes every HTM data access abort with
+  // probability rate/1e6, exercising fallback robustness.  0 disables.
+  static void set_htm_chaos_per_million(std::uint32_t rate) noexcept;
+  [[nodiscard]] static std::uint32_t htm_chaos_per_million() noexcept;
+
+ private:
+  struct ReadEntry {
+    const Orec* orec;
+    OrecWord seen;  // unlocked orec word observed at read time
+  };
+  struct LockEntry {
+    Orec* orec;
+    OrecWord prior;  // unlocked word replaced by our lock
+  };
+  struct UndoEntry {
+    std::atomic<std::uint64_t>* addr;
+    std::uint64_t old_value;
+  };
+  struct RedoEntry {
+    std::atomic<std::uint64_t>* addr;
+    std::uint64_t value;
+  };
+
+  // Backend-specific paths.
+  [[nodiscard]] std::uint64_t read_optimistic(
+      const std::atomic<std::uint64_t>* addr);
+  void write_eager(std::atomic<std::uint64_t>* addr, std::uint64_t value);
+  void write_lazy(std::atomic<std::uint64_t>* addr, std::uint64_t value);
+  void commit_eager();
+  void commit_lazy();
+  void rollback() noexcept;
+
+  // Try to advance start_time_ to the current clock after validating the
+  // read set; returns false on conflict.
+  [[nodiscard]] bool extend();
+  [[nodiscard]] bool reads_valid() const noexcept;
+
+  // Roll an injected asynchronous abort for HTM accesses (no-op when the
+  // chaos rate is 0 or the backend is not HTM).
+  void maybe_chaos_abort();
+
+  [[nodiscard]] bool orec_locked_by_me(OrecWord w) const noexcept {
+    return orec_is_locked(w) && orec_owner_slot(w) == slot_;
+  }
+  [[nodiscard]] LockEntry* find_lock(const Orec* o) noexcept;
+  [[nodiscard]] RedoEntry* find_redo(
+      const std::atomic<std::uint64_t>* addr) noexcept;
+
+  void reset_logs() noexcept;
+  void run_commit_handlers();
+  void run_abort_handlers() noexcept;
+
+  // Mark this thread visible-in-transaction for quiescence.
+  void activity_begin() noexcept;
+  void activity_end() noexcept;
+
+  std::uint64_t slot_;
+  TxState state_ = TxState::Idle;
+  Backend backend_ = Backend::EagerSTM;
+  std::uint32_t depth_ = 0;
+  std::uint32_t saved_depth_ = 0;
+  bool split_done_ = false;
+  std::uint64_t start_time_ = 0;
+
+  std::vector<ReadEntry> read_set_;
+  std::vector<LockEntry> lock_set_;
+  std::vector<UndoEntry> undo_log_;
+  std::vector<RedoEntry> redo_log_;
+  std::vector<std::function<void()>> commit_handlers_;
+  std::vector<std::function<void()>> abort_handlers_;
+
+  void announce_epoch() noexcept;
+
+  // Even = no optimistic transaction in flight; odd = in flight.
+  std::atomic<std::uint64_t> activity_{0};
+
+  // Global epoch observed at the last begin (epoch reclamation).
+  std::atomic<std::uint64_t> epoch_{0};
+
+  Stats stats_;
+};
+
+// The process-wide epoch word (owned by the GC; announced by descriptors).
+std::atomic<std::uint64_t>& gc_epoch_word() noexcept;
+
+// Commit signal: a futex word bumped by every writing commit.  The retry
+// mechanism sleeps on it; the waiter count lets committers skip the wake
+// syscall when nobody waits.
+std::atomic<std::uint32_t>& commit_signal_word() noexcept;
+std::atomic<std::uint32_t>& retry_waiter_count() noexcept;
+
+// The calling thread's descriptor (created and registered on first use).
+TxDescriptor& descriptor() noexcept;
+
+}  // namespace tmcv::tm

@@ -1,0 +1,67 @@
+// Epoch-based memory reclamation for transactional data structures.
+//
+// Problem: a transaction that unlinks a node cannot delete it at commit --
+// a concurrent transaction that started earlier may still hold the pointer
+// and dereference it (its validation will abort it *after* the read
+// touches memory, so the memory must still be mapped).  The standard
+// answer, used by production STMs, is epoch-based reclamation:
+//
+//   * every transaction announces the global epoch when it begins;
+//   * tm::retire(ptr) defers the free to the retiring transaction's commit
+//     and stamps it with the then-current epoch;
+//   * a retired node is freed only when every in-flight transaction's
+//     announced epoch is newer than the node's stamp -- at which point no
+//     transaction that could have seen the node is still running (later
+//     transactions cannot reach it: their validated snapshots post-date
+//     the unlink).
+//
+// Each thread reclaims its own retirements; a thread that exits hands its
+// leftovers to a global orphan list drained by whoever collects next.
+#pragma once
+
+#include <cstdint>
+
+namespace tmcv::tm {
+
+// Deleter signature kept C-style so entries are POD.
+using GcDeleter = void (*)(void*);
+
+// Retire `ptr`: if called inside a transaction, the retirement is deferred
+// to commit (an aborted transaction never retires -- its unlink rolled
+// back); outside a transaction it takes effect immediately.  The object is
+// deleted by `deleter` once no transaction can still reference it.
+void retire(void* ptr, GcDeleter deleter);
+
+template <typename T>
+void retire(T* ptr) {
+  retire(static_cast<void*>(ptr),
+         [](void* p) { delete static_cast<T*>(p); });
+}
+
+// Internal hook used by tx_new: register an allocation for rollback.
+void detail_gc_register_alloc(void* ptr, GcDeleter deleter);
+
+// Allocate inside a transaction with rollback safety: if the enclosing
+// transaction aborts, the object is deleted automatically.  Equivalent to
+// plain `new` outside a transaction.
+template <typename T, typename... Args>
+T* tx_new(Args&&... args) {
+  T* ptr = new T(static_cast<Args&&>(args)...);
+  detail_gc_register_alloc(
+      static_cast<void*>(ptr),
+      [](void* p) { delete static_cast<T*>(p); });
+  return ptr;
+}
+
+// Attempt reclamation on the calling thread (runs automatically every few
+// retirements; exposed for tests and shutdown paths).
+void gc_collect();
+
+// Number of retired-but-not-yet-freed objects owned by this thread plus
+// the orphan list (approximate; for tests).
+std::uint64_t gc_pending();
+
+// Current global epoch (for tests).
+std::uint64_t gc_epoch();
+
+}  // namespace tmcv::tm

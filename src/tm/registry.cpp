@@ -1,0 +1,59 @@
+#include "tm/registry.h"
+
+#include "tm/descriptor.h"
+#include "util/assert.h"
+#include "util/backoff.h"
+
+namespace tmcv::tm {
+
+Registry& registry() noexcept {
+  static Registry instance;
+  return instance;
+}
+
+std::uint64_t Registry::register_thread(TxDescriptor* desc) noexcept {
+  for (std::uint64_t slot = 0; slot < kMaxThreads; ++slot) {
+    TxDescriptor* expected = nullptr;
+    if (slots_[slot].compare_exchange_strong(expected, desc,
+                                             std::memory_order_acq_rel)) {
+      // Grow the scan bound monotonically.
+      std::uint64_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < slot + 1 &&
+             !high_water_.compare_exchange_weak(hw, slot + 1,
+                                                std::memory_order_acq_rel)) {
+      }
+      return slot;
+    }
+  }
+  TMCV_ASSERT_MSG(false, "more than kMaxThreads concurrent TM threads");
+  return 0;  // unreachable
+}
+
+void Registry::unregister_thread(std::uint64_t slot,
+                                 const Stats& stats) noexcept {
+  // Fold this thread's counters before the slot is reused.
+  Backoff backoff;
+  while (retired_lock_.exchange(true, std::memory_order_acquire))
+    backoff.wait();
+  retired_ += stats;
+  retired_lock_.store(false, std::memory_order_release);
+  slots_[slot].store(nullptr, std::memory_order_release);
+}
+
+void Registry::fold_retired(Stats& into) const noexcept {
+  Backoff backoff;
+  while (retired_lock_.exchange(true, std::memory_order_acquire))
+    backoff.wait();
+  into += retired_;
+  retired_lock_.store(false, std::memory_order_release);
+}
+
+void Registry::reset_retired() noexcept {
+  Backoff backoff;
+  while (retired_lock_.exchange(true, std::memory_order_acquire))
+    backoff.wait();
+  retired_ = Stats{};
+  retired_lock_.store(false, std::memory_order_release);
+}
+
+}  // namespace tmcv::tm

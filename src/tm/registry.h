@@ -1,0 +1,53 @@
+// Thread registry: assigns each thread a small slot id (used in orec lock
+// words) and exposes the set of live descriptors for quiescence waits and
+// statistics aggregation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "tm/stats.h"
+
+namespace tmcv::tm {
+
+class TxDescriptor;
+
+inline constexpr std::uint64_t kMaxThreads = 512;
+
+class Registry {
+ public:
+  // Claim a slot for `desc`; aborts the process if more than kMaxThreads
+  // concurrent TM threads exist.
+  std::uint64_t register_thread(TxDescriptor* desc) noexcept;
+
+  // Release the slot and fold the thread's stats into the retired
+  // accumulator.
+  void unregister_thread(std::uint64_t slot, const Stats& stats) noexcept;
+
+  // Descriptor in a slot, or nullptr.  Safe to call concurrently with
+  // registration; callers must tolerate slots appearing/disappearing.
+  [[nodiscard]] TxDescriptor* descriptor(std::uint64_t slot) const noexcept {
+    return slots_[slot].load(std::memory_order_acquire);
+  }
+
+  // Upper bound on slots ever used (scan limit).
+  [[nodiscard]] std::uint64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_acquire);
+  }
+
+  // Stats support.
+  void fold_retired(Stats& into) const noexcept;
+  void reset_retired() noexcept;
+
+ private:
+  std::atomic<TxDescriptor*> slots_[kMaxThreads]{};
+  std::atomic<std::uint64_t> high_water_{0};
+
+  // Retired-thread stats, guarded by a tiny spin flag (cold path only).
+  mutable std::atomic<bool> retired_lock_{false};
+  Stats retired_{};
+};
+
+Registry& registry() noexcept;
+
+}  // namespace tmcv::tm

@@ -1,0 +1,59 @@
+#include "tm/stats.h"
+
+#include <sstream>
+
+#include "tm/descriptor.h"
+#include "tm/registry.h"
+
+namespace tmcv::tm {
+
+Stats& Stats::operator+=(const Stats& o) noexcept {
+  commits += o.commits;
+  ro_commits += o.ro_commits;
+  aborts += o.aborts;
+  reads += o.reads;
+  writes += o.writes;
+  extensions += o.extensions;
+  serial_commits += o.serial_commits;
+  serial_fallbacks += o.serial_fallbacks;
+  htm_capacity_aborts += o.htm_capacity_aborts;
+  htm_syscall_aborts += o.htm_syscall_aborts;
+  htm_chaos_aborts += o.htm_chaos_aborts;
+  handlers_run += o.handlers_run;
+  return *this;
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  os << "commits=" << commits << " (ro=" << ro_commits << ", serial="
+     << serial_commits << ") aborts=" << aborts << " reads=" << reads
+     << " writes=" << writes << " extensions=" << extensions
+     << " serial_fallbacks=" << serial_fallbacks
+     << " htm_capacity_aborts=" << htm_capacity_aborts
+     << " htm_syscall_aborts=" << htm_syscall_aborts
+     << " htm_chaos_aborts=" << htm_chaos_aborts
+     << " handlers=" << handlers_run;
+  return os.str();
+}
+
+Stats stats_snapshot() {
+  Stats total;
+  Registry& reg = registry();
+  const std::uint64_t n = reg.high_water();
+  for (std::uint64_t slot = 0; slot < n; ++slot) {
+    if (TxDescriptor* desc = reg.descriptor(slot)) total += desc->stats();
+  }
+  reg.fold_retired(total);
+  return total;
+}
+
+void stats_reset() {
+  Registry& reg = registry();
+  const std::uint64_t n = reg.high_water();
+  for (std::uint64_t slot = 0; slot < n; ++slot) {
+    if (TxDescriptor* desc = reg.descriptor(slot)) desc->stats() = Stats{};
+  }
+  reg.reset_retired();
+}
+
+}  // namespace tmcv::tm

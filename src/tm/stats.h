@@ -1,0 +1,37 @@
+// TM runtime statistics.
+//
+// Counters are accumulated per-descriptor without synchronization and folded
+// into a process-wide snapshot on demand (and when a thread exits).  They
+// power the benchmark reports and the dedup-anomaly diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmcv::tm {
+
+struct Stats {
+  std::uint64_t commits = 0;           // outermost commits (any backend)
+  std::uint64_t ro_commits = 0;        // read-only commits
+  std::uint64_t aborts = 0;            // aborts + retries
+  std::uint64_t reads = 0;             // instrumented word reads
+  std::uint64_t writes = 0;            // instrumented word writes
+  std::uint64_t extensions = 0;        // successful timestamp extensions
+  std::uint64_t serial_commits = 0;    // irrevocable/relaxed sections
+  std::uint64_t serial_fallbacks = 0;  // optimistic -> serial escalations
+  std::uint64_t htm_capacity_aborts = 0;
+  std::uint64_t htm_syscall_aborts = 0;
+  std::uint64_t htm_chaos_aborts = 0;  // injected asynchronous aborts
+  std::uint64_t handlers_run = 0;      // onCommit handlers executed
+
+  Stats& operator+=(const Stats& o) noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Fold all live descriptors' counters (plus retired threads') into one view.
+[[nodiscard]] Stats stats_snapshot();
+
+// Zero every live descriptor's counters and the retired accumulator.
+void stats_reset();
+
+}  // namespace tmcv::tm

@@ -1,0 +1,45 @@
+// TxnSync: the transactional SyncContext (the `Sync` argument of WAIT when
+// the caller is inside tm::atomically).
+//
+// end_block() commits the ambient transaction *now* (early commit, WAIT
+// line 9) -- any abort at this point retries the whole enclosing closure,
+// which is correct because nothing was published.  begin_block() starts the
+// continuation's transaction at the saved nesting depth (WAIT line 11);
+// with `irrevocable(true)` the continuation runs under the serial lock,
+// enabling the traditional (non-CPS) interface per §4.3.
+#pragma once
+
+#include "sync/sync_context.h"
+#include "tm/api.h"
+
+namespace tmcv::tm {
+
+class TxnSync final : public SyncContext {
+ public:
+  // `irrevocable_continuation` applies to the *traditional* (non-CPS) WAIT:
+  // the code after WAIT returns runs as the continuation, and §4.2 shows a
+  // conflict-abort there must not re-run the first half.  Running it
+  // irrevocably (§4.3) is the only sound option without compiler-assisted
+  // stack checkpointing, so it defaults to true.  CPS waits never call
+  // begin_block (their continuation is an independently retried closure) and
+  // ignore this flag.
+  explicit TxnSync(bool irrevocable_continuation = true) noexcept
+      : irrevocable_(irrevocable_continuation) {}
+
+  void end_block() override { descriptor().end_sync_block(); }
+
+  void begin_block() override { descriptor().begin_sync_block(irrevocable_); }
+
+  [[nodiscard]] bool is_transactional() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] bool irrevocable_continuation() const noexcept {
+    return irrevocable_;
+  }
+
+ private:
+  bool irrevocable_;
+};
+
+}  // namespace tmcv::tm

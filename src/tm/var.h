@@ -1,0 +1,159 @@
+// tm::var<T>: a transactionally shared variable.
+//
+// All data accessed inside transactions must live in var<T> cells (word-based
+// instrumentation, like a compiler would emit for every shared load/store).
+// T must be trivially copyable and at most 8 bytes (pointers, integers,
+// small structs); larger state composes from multiple cells or tm::array.
+//
+// Access rules:
+//   load()/store()       -- instrumented: transactional inside a transaction,
+//                           plain (with acquire/release) outside.
+//   load_plain()/store_plain()
+//                        -- never instrumented.  Only correct when the cell
+//                           is privatized (e.g. a dequeued condvar node being
+//                           re-initialized by its owner, WAIT line 1).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "tm/api.h"
+
+namespace tmcv::tm {
+
+namespace detail {
+
+template <typename T>
+std::uint64_t to_word(T value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                "tm::var requires a trivially copyable type of at most 8 "
+                "bytes; compose larger state from multiple cells");
+  std::uint64_t word = 0;
+  std::memcpy(&word, &value, sizeof(T));
+  return word;
+}
+
+template <typename T>
+T from_word(std::uint64_t word) noexcept {
+  T value;
+  std::memcpy(&value, &word, sizeof(T));
+  return value;
+}
+
+}  // namespace detail
+
+template <typename T>
+class var {
+ public:
+  constexpr var() noexcept : word_(0) {}
+  explicit var(T initial) noexcept : word_(detail::to_word(initial)) {}
+
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  [[nodiscard]] T load() const {
+    return detail::from_word<T>(descriptor().read_word(&word_));
+  }
+
+  void store(T value) {
+    descriptor().write_word(&word_, detail::to_word(value));
+  }
+
+  // Privatized access; see header comment.
+  [[nodiscard]] T load_plain() const noexcept {
+    return detail::from_word<T>(word_.load(std::memory_order_acquire));
+  }
+
+  void store_plain(T value) noexcept {
+    word_.store(detail::to_word(value), std::memory_order_release);
+  }
+
+  // The underlying word (tests poke orecs and aliasing through this).
+  [[nodiscard]] const std::atomic<std::uint64_t>* word() const noexcept {
+    return &word_;
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> word_;
+};
+
+// Transactional storage for larger trivially-copyable types: the value is
+// striped across 8-byte cells, each individually instrumented.  Loads are
+// consistent despite spanning multiple words -- per-read validation plus
+// commit-time validation guarantee the words belong to one atomic snapshot
+// (a concurrent writer either conflicts or serializes entirely before/
+// after).
+template <typename T>
+class box {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "tm::box requires a trivially copyable type");
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+ public:
+  constexpr box() noexcept = default;
+  explicit box(const T& initial) noexcept { store_plain(initial); }
+
+  box(const box&) = delete;
+  box& operator=(const box&) = delete;
+
+  [[nodiscard]] T load() const {
+    std::uint64_t words[kWords];
+    TxDescriptor& d = descriptor();
+    for (std::size_t i = 0; i < kWords; ++i)
+      words[i] = d.read_word(&cells_[i]);
+    T value;
+    std::memcpy(&value, words, sizeof(T));
+    return value;
+  }
+
+  void store(const T& value) {
+    std::uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    TxDescriptor& d = descriptor();
+    for (std::size_t i = 0; i < kWords; ++i)
+      d.write_word(&cells_[i], words[i]);
+  }
+
+  // Privatized access (single-owner phases only; no torn-read protection).
+  [[nodiscard]] T load_plain() const noexcept {
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i)
+      words[i] = cells_[i].load(std::memory_order_acquire);
+    T value;
+    std::memcpy(&value, words, sizeof(T));
+    return value;
+  }
+
+  void store_plain(const T& value) noexcept {
+    std::uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i)
+      cells_[i].store(words[i], std::memory_order_release);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> cells_[kWords]{};
+};
+
+// Fixed-size array of transactional cells.
+template <typename T, std::size_t N>
+class array {
+ public:
+  [[nodiscard]] T load(std::size_t i) const { return cells_[i].load(); }
+  void store(std::size_t i, T value) { cells_[i].store(value); }
+  [[nodiscard]] var<T>& operator[](std::size_t i) noexcept {
+    return cells_[i];
+  }
+  [[nodiscard]] const var<T>& operator[](std::size_t i) const noexcept {
+    return cells_[i];
+  }
+  [[nodiscard]] static constexpr std::size_t size() noexcept { return N; }
+
+ private:
+  var<T> cells_[N];
+};
+
+}  // namespace tmcv::tm

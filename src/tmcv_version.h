@@ -1,0 +1,15 @@
+// Library version (kept in sync with the CMake project version).
+#pragma once
+
+#define TMCV_VERSION_MAJOR 1
+#define TMCV_VERSION_MINOR 0
+#define TMCV_VERSION_PATCH 0
+#define TMCV_VERSION_STRING "1.0.0"
+
+namespace tmcv {
+
+inline constexpr const char* version() noexcept {
+  return TMCV_VERSION_STRING;
+}
+
+}  // namespace tmcv

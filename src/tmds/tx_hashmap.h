@@ -1,0 +1,149 @@
+// Transactional chained hash map (fixed bucket array).
+//
+// The shape of dedup's deduplication table, as a reusable composable
+// structure: every operation is a transaction over the touched bucket
+// chain, so lookups/inserts compose atomically with other transactional
+// state.  Keys and values must be cell-compatible (trivially copyable,
+// <= 8 bytes).  The bucket count is fixed at construction (power of two),
+// which keeps conflicts bucket-local; resizing under TM is future work, as
+// it is for most TM data-structure literature.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tm/api.h"
+#include "tm/epoch.h"
+#include "tm/var.h"
+#include "util/assert.h"
+
+namespace tmcv::tmds {
+
+template <typename K, typename V>
+class TxHashMap {
+ public:
+  explicit TxHashMap(std::size_t buckets = 256) : buckets_(buckets) {
+    TMCV_ASSERT_MSG((buckets & (buckets - 1)) == 0,
+                    "bucket count must be a power of two");
+  }
+
+  TxHashMap(const TxHashMap&) = delete;
+  TxHashMap& operator=(const TxHashMap&) = delete;
+
+  ~TxHashMap() {
+    for (auto& bucket : buckets_) {
+      Node* node = bucket.load_plain();
+      while (node != nullptr) {
+        Node* next = node->next.load_plain();
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  // Insert or overwrite; returns true if the key was newly inserted.
+  bool put(K key, V value) {
+    return tm::atomically([&] {
+      tm::var<Node*>& bucket = bucket_for(key);
+      for (Node* n = bucket.load(); n != nullptr; n = n->next.load()) {
+        if (n->key.load() == key) {
+          n->value.store(value);
+          return false;
+        }
+      }
+      Node* node = tm::tx_new<Node>();
+      node->key.store(key);
+      node->value.store(value);
+      node->next.store(bucket.load());
+      bucket.store(node);
+      size_.store(size_.load() + 1);
+      return true;
+    });
+  }
+
+  // Lookup; false if absent.
+  bool get(K key, V& out) const {
+    return tm::atomically([&] {
+      for (Node* n = bucket_for(key).load(); n != nullptr;
+           n = n->next.load()) {
+        if (n->key.load() == key) {
+          out = n->value.load();
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+  [[nodiscard]] bool contains(K key) const {
+    V ignored;
+    return get(key, ignored);
+  }
+
+  // Remove; false if absent.
+  bool erase(K key) {
+    return tm::atomically([&] {
+      tm::var<Node*>& bucket = bucket_for(key);
+      Node* prev = nullptr;
+      for (Node* n = bucket.load(); n != nullptr; n = n->next.load()) {
+        if (n->key.load() == key) {
+          Node* next = n->next.load();
+          if (prev == nullptr)
+            bucket.store(next);
+          else
+            prev->next.store(next);
+          size_.store(size_.load() - 1);
+          tm::retire(n);
+          return true;
+        }
+        prev = n;
+      }
+      return false;
+    });
+  }
+
+  // Insert-if-absent returning the final value: the composable upsert used
+  // for "first writer wins" tables (dedup's pattern).
+  V get_or_put(K key, V value) {
+    return tm::atomically([&] {
+      tm::var<Node*>& bucket = bucket_for(key);
+      for (Node* n = bucket.load(); n != nullptr; n = n->next.load())
+        if (n->key.load() == key) return n->value.load();
+      Node* node = tm::tx_new<Node>();
+      node->key.store(key);
+      node->value.store(value);
+      node->next.store(bucket.load());
+      bucket.store(node);
+      size_.store(size_.load() + 1);
+      return value;
+    });
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return tm::atomically([&] { return size_.load(); });
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+ private:
+  struct Node {
+    tm::var<K> key;
+    tm::var<V> value;
+    tm::var<Node*> next{nullptr};
+  };
+
+  [[nodiscard]] tm::var<Node*>& bucket_for(K key) const {
+    const auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+    return buckets_[h & (buckets_.size() - 1)];
+  }
+
+  mutable std::vector<tm::var<Node*>> buckets_;
+  tm::var<std::size_t> size_{0};
+};
+
+}  // namespace tmcv::tmds

@@ -1,0 +1,93 @@
+// Transactional unbounded FIFO queue.
+//
+// The same linked-queue shape the condition variable uses for its wait set
+// (Algorithm 3), generalized to arbitrary payloads, with epoch-reclaimed
+// nodes.  Fully composable: enqueue/dequeue flat-nest into ambient
+// transactions.
+#pragma once
+
+#include <cstddef>
+
+#include "tm/api.h"
+#include "tm/epoch.h"
+#include "tm/var.h"
+
+namespace tmcv::tmds {
+
+template <typename T>
+class TxQueue {
+ public:
+  TxQueue() = default;
+
+  TxQueue(const TxQueue&) = delete;
+  TxQueue& operator=(const TxQueue&) = delete;
+
+  ~TxQueue() {
+    Node* node = head_.load_plain();
+    while (node != nullptr) {
+      Node* next = node->next.load_plain();
+      delete node;
+      node = next;
+    }
+  }
+
+  void enqueue(T value) {
+    tm::atomically([&] {
+      Node* node = tm::tx_new<Node>();
+      node->value.store(value);
+      node->next.store(nullptr);
+      Node* tail = tail_.load();
+      if (tail == nullptr) {
+        head_.store(node);
+        tail_.store(node);
+      } else {
+        tail->next.store(node);
+        tail_.store(node);
+      }
+      size_.store(size_.load() + 1);
+    });
+  }
+
+  // Dequeue into `out`; false when empty.
+  bool dequeue(T& out) {
+    return tm::atomically([&] {
+      Node* head = head_.load();
+      if (head == nullptr) return false;
+      out = head->value.load();
+      Node* next = head->next.load();
+      head_.store(next);
+      if (next == nullptr) tail_.store(nullptr);
+      size_.store(size_.load() - 1);
+      tm::retire(head);
+      return true;
+    });
+  }
+
+  // Front element without removal; false when empty.
+  bool front(T& out) const {
+    return tm::atomically([&] {
+      Node* head = head_.load();
+      if (head == nullptr) return false;
+      out = head->value.load();
+      return true;
+    });
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return tm::atomically([&] { return size_.load(); });
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Node {
+    tm::var<T> value;
+    tm::var<Node*> next{nullptr};
+  };
+
+  tm::var<Node*> head_{nullptr};
+  tm::var<Node*> tail_{nullptr};
+  tm::var<std::size_t> size_{0};
+};
+
+}  // namespace tmcv::tmds

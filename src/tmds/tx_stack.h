@@ -1,0 +1,86 @@
+// Transactional LIFO stack.
+//
+// A linked stack whose every access runs inside a transaction (flat-nesting
+// into an ambient one), making it composable: callers can push/pop together
+// with arbitrary other transactional state atomically.  Nodes are allocated
+// with rollback safety (tm::tx_new) and reclaimed through the epoch GC
+// (tm::retire), so concurrent optimistic readers never touch freed memory.
+#pragma once
+
+#include <cstddef>
+
+#include "tm/api.h"
+#include "tm/epoch.h"
+#include "tm/var.h"
+
+namespace tmcv::tmds {
+
+template <typename T>
+class TxStack {
+ public:
+  TxStack() = default;
+
+  TxStack(const TxStack&) = delete;
+  TxStack& operator=(const TxStack&) = delete;
+
+  // Destruction requires quiescence (no concurrent access), like any
+  // container.
+  ~TxStack() {
+    Node* node = top_.load_plain();
+    while (node != nullptr) {
+      Node* next = node->next.load_plain();
+      delete node;
+      node = next;
+    }
+  }
+
+  void push(T value) {
+    tm::atomically([&] {
+      Node* node = tm::tx_new<Node>();
+      node->value.store(value);
+      node->next.store(top_.load());
+      top_.store(node);
+      size_.store(size_.load() + 1);
+    });
+  }
+
+  // Pop into `out`; false when empty.
+  bool pop(T& out) {
+    return tm::atomically([&] {
+      Node* node = top_.load();
+      if (node == nullptr) return false;
+      out = node->value.load();
+      top_.store(node->next.load());
+      size_.store(size_.load() - 1);
+      tm::retire(node);  // freed once no transaction can reference it
+      return true;
+    });
+  }
+
+  // Peek without removing; false when empty.
+  bool peek(T& out) const {
+    return tm::atomically([&] {
+      Node* node = top_.load();
+      if (node == nullptr) return false;
+      out = node->value.load();
+      return true;
+    });
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return tm::atomically([&] { return size_.load(); });
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Node {
+    tm::var<T> value;
+    tm::var<Node*> next{nullptr};
+  };
+
+  tm::var<Node*> top_{nullptr};
+  tm::var<std::size_t> size_{0};
+};
+
+}  // namespace tmcv::tmds

@@ -1,0 +1,39 @@
+// Internal assertion macros.
+//
+// TMCV_ASSERT is active in all build types (the library is a concurrency
+// runtime; silent corruption is worse than an abort), but compiles to a
+// single predictable branch.  TMCV_DEBUG_ASSERT is compiled out in release
+// builds and may guard expensive checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmcv::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "tmcv: assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg ? " -- " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tmcv::detail
+
+#define TMCV_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]]                                            \
+      ::tmcv::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+  } while (0)
+
+#define TMCV_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]]                                            \
+      ::tmcv::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+#ifdef NDEBUG
+#define TMCV_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define TMCV_DEBUG_ASSERT(expr) TMCV_ASSERT(expr)
+#endif

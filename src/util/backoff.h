@@ -1,0 +1,54 @@
+// Bounded exponential backoff for contended atomics.
+//
+// This process may run heavily oversubscribed (many more threads than cores),
+// so unbounded spinning can livelock: the lock holder may be descheduled while
+// waiters burn their whole quantum.  Backoff therefore escalates from PAUSE to
+// sched_yield quickly, and callers are expected to bound total retries.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <sched.h>
+
+namespace tmcv {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  // After `yield_after` escalations every wait becomes a sched_yield, which is
+  // mandatory for forward progress on oversubscribed machines.
+  explicit Backoff(std::uint32_t yield_after = 6) noexcept
+      : yield_after_(yield_after) {}
+
+  void wait() noexcept {
+    if (round_ >= yield_after_) {
+      sched_yield();
+      return;
+    }
+    const std::uint32_t spins = 1u << round_;
+    for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    ++round_;
+  }
+
+  void reset() noexcept { round_ = 0; }
+
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return round_; }
+
+ private:
+  std::uint32_t yield_after_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace tmcv

@@ -1,0 +1,25 @@
+// Cache-line geometry helpers: padding shared variables to distinct lines is
+// the single most important layout rule for the hot-path atomics in this
+// library (global clock, serial lock, orec table stripes).
+#pragma once
+
+#include <cstddef>
+
+namespace tmcv {
+
+// std::hardware_destructive_interference_size is 64 on every x86-64 target we
+// support; pinning it avoids ABI warnings and keeps layouts stable.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Wrapper that places T alone on its own cache line.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace tmcv

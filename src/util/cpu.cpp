@@ -1,0 +1,27 @@
+#include "util/cpu.h"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace tmcv {
+
+bool cpu_has_rtm() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // Leaf 7 subleaf 0, EBX bit 11 = RTM.
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 11)) != 0;
+#else
+  return false;
+#endif
+}
+
+unsigned online_cpus() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+}  // namespace tmcv

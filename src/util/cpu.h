@@ -1,0 +1,15 @@
+// CPU feature and topology queries used to pick TM backends and size
+// benchmark sweeps.
+#pragma once
+
+namespace tmcv {
+
+// True when the processor supports Intel RTM (TSX).  The HTM backend uses
+// this to decide between real hardware transactions and the software
+// emulation documented in DESIGN.md.
+[[nodiscard]] bool cpu_has_rtm() noexcept;
+
+// Number of online logical processors (>= 1).
+[[nodiscard]] unsigned online_cpus() noexcept;
+
+}  // namespace tmcv

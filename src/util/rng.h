@@ -1,0 +1,68 @@
+// Small deterministic PRNGs used by workload generators and randomized tests.
+//
+// We deliberately do not use std::mt19937 on hot paths: the workload kernels
+// call the generator inside their synthetic compute loops and need a couple of
+// instructions per draw, plus stable cross-platform sequences for
+// reproducibility of the experiment tables.
+#pragma once
+
+#include <cstdint>
+
+namespace tmcv {
+
+// splitmix64: used to seed other generators from a single word.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+// xoshiro256**: fast, high-quality generator for workloads.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform draw in [0, bound). Uses the multiply-shift trick; bias is
+  // negligible for bounds far below 2^64 and irrelevant for workloads.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(next()) * bound) >>
+                                      64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace tmcv

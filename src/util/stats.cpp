@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace tmcv {
+
+Summary summarize(std::span<const double> xs) noexcept {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) {
+    const double d = x - s.mean;
+    var += d * d;
+  }
+  // Sample standard deviation for n > 1; zero otherwise.
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 1.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    TMCV_ASSERT_MSG(x > 0.0, "geomean requires positive inputs");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t mid = copy.size() / 2;
+  return copy.size() % 2 == 1 ? copy[mid]
+                              : 0.5 * (copy[mid - 1] + copy[mid]);
+}
+
+}  // namespace tmcv

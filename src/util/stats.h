@@ -1,0 +1,38 @@
+// Summary statistics for benchmark results: mean, stddev, min/max, and the
+// geometric mean used by the paper's Figure 3.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tmcv {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Summary statistics over a sample; n==0 yields an all-zero summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs) noexcept;
+
+// Geometric mean; all inputs must be > 0 (asserted).  Empty input yields 1.
+[[nodiscard]] double geomean(std::span<const double> xs) noexcept;
+
+// Median (copies and sorts); empty input yields 0.
+[[nodiscard]] double median(std::span<const double> xs);
+
+// Repeatedly run `fn` (returning elapsed seconds per trial) and return all
+// trial times.  Used by the figure harnesses ("average of five trials").
+template <typename Fn>
+std::vector<double> run_trials(std::size_t trials, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) times.push_back(fn());
+  return times;
+}
+
+}  // namespace tmcv

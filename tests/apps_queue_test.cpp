@@ -1,0 +1,159 @@
+// BoundedQueue across all three sync policies (typed tests): FIFO order,
+// blocking behaviour, close semantics, and multi-producer/multi-consumer
+// conservation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "apps/bounded_queue.h"
+
+namespace tmcv::apps {
+namespace {
+
+template <typename Policy>
+class BoundedQueueTest : public ::testing::Test {};
+
+using Policies = ::testing::Types<PthreadPolicy, TmCvPolicy, TxnPolicy>;
+
+class PolicyNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    return T::name();
+  }
+};
+
+TYPED_TEST_SUITE(BoundedQueueTest, Policies, PolicyNames);
+
+TYPED_TEST(BoundedQueueTest, FifoOrderSingleThreaded) {
+  BoundedQueue<TypeParam> q(8);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    std::uint64_t v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TYPED_TEST(BoundedQueueTest, TryVariantsRespectBounds) {
+  BoundedQueue<TypeParam> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  std::uint64_t v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_FALSE(q.try_pop(v));  // empty
+}
+
+TYPED_TEST(BoundedQueueTest, PushBlocksWhenFull) {
+  BoundedQueue<TypeParam> q(1);
+  ASSERT_TRUE(q.push(10));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(11));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  std::uint64_t v = 0;
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 10u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 11u);
+}
+
+TYPED_TEST(BoundedQueueTest, PopBlocksWhenEmpty) {
+  BoundedQueue<TypeParam> q(4);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 77u);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(popped.load());
+  EXPECT_TRUE(q.push(77));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TYPED_TEST(BoundedQueueTest, CloseDrainsThenFails) {
+  BoundedQueue<TypeParam> q(4);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: push fails
+  std::uint64_t v = 0;
+  EXPECT_TRUE(q.pop(v));  // drains remaining items
+  EXPECT_TRUE(q.pop(v));
+  EXPECT_FALSE(q.pop(v));  // drained + closed
+  EXPECT_TRUE(q.closed());
+}
+
+TYPED_TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<TypeParam> q(4);
+  std::atomic<int> failed_pops{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      std::uint64_t v = 0;
+      if (!q.pop(v)) failed_pops.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(failed_pops.load(), 3);
+}
+
+TYPED_TEST(BoundedQueueTest, MpmcConservation) {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kItemsPerProducer = 1000;
+  BoundedQueue<TypeParam> q(16);
+  std::atomic<std::uint64_t> sum_consumed{0};
+  std::atomic<int> count_consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::uint64_t v = 0;
+      while (q.pop(v)) {
+        sum_consumed.fetch_add(v);
+        count_consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<int> live_producers{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i)
+        EXPECT_TRUE(q.push(static_cast<std::uint64_t>(p * kItemsPerProducer +
+                                                      i + 1)));
+      if (live_producers.fetch_sub(1) == 1) q.close();
+    });
+  }
+  for (auto& p : producers) p.join();
+  for (auto& c : consumers) c.join();
+
+  const int total = kProducers * kItemsPerProducer;
+  EXPECT_EQ(count_consumed.load(), total);
+  // Sum of 1..total.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(total) * (total + 1) / 2;
+  EXPECT_EQ(sum_consumed.load(), expected);
+}
+
+}  // namespace
+}  // namespace tmcv::apps

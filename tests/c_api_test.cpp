@@ -1,0 +1,115 @@
+// Tests for the C-compatible pthread-style interface.
+#include <gtest/gtest.h>
+
+#include <errno.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/c_api.h"
+
+namespace {
+
+TEST(CApi, CreateDestroy) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  ASSERT_NE(cond, nullptr);
+  tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, NullArgumentsRejected) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  EXPECT_EQ(tmcv_cond_wait(nullptr, &m), EINVAL);
+  EXPECT_EQ(tmcv_cond_wait(cond, nullptr), EINVAL);
+  EXPECT_EQ(tmcv_cond_signal(nullptr), EINVAL);
+  EXPECT_EQ(tmcv_cond_broadcast(nullptr), EINVAL);
+  tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, SignalWakesWaiterWithMutexHeld) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  bool ready = false;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    pthread_mutex_lock(&m);
+    while (!ready) EXPECT_EQ(tmcv_cond_wait(cond, &m), 0);
+    // Returned holding the mutex.
+    woke.store(true);
+    pthread_mutex_unlock(&m);
+  });
+  // Classic producer side.
+  for (;;) {
+    pthread_mutex_lock(&m);
+    ready = true;
+    pthread_mutex_unlock(&m);
+    tmcv_cond_signal(cond);
+    if (woke.load()) break;
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, BroadcastWakesEveryone) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  int stage = 0;
+  std::atomic<int> woke{0};
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      pthread_mutex_lock(&m);
+      while (stage == 0) tmcv_cond_wait(cond, &m);
+      pthread_mutex_unlock(&m);
+      woke.fetch_add(1);
+    });
+  }
+  // Wait for everyone to park, then release the herd.
+  for (;;) {
+    pthread_mutex_lock(&m);
+    stage = 1;
+    pthread_mutex_unlock(&m);
+    tmcv_cond_broadcast(cond);
+    if (woke.load() == kWaiters) break;
+    std::this_thread::yield();
+  }
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(woke.load(), kWaiters);
+  tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, TimedWaitTimesOut) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  pthread_mutex_lock(&m);
+  EXPECT_EQ(tmcv_cond_timedwait_ms(cond, &m, 20), ETIMEDOUT);
+  // Mutex re-acquired on the timeout path.
+  EXPECT_EQ(pthread_mutex_trylock(&m), EBUSY);
+  pthread_mutex_unlock(&m);
+  tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, TimedWaitSucceedsWhenSignaled) {
+  tmcv_cond_t* cond = tmcv_cond_create();
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  std::atomic<int> rc{-1};
+  std::thread waiter([&] {
+    pthread_mutex_lock(&m);
+    rc.store(tmcv_cond_timedwait_ms(cond, &m, 10000));
+    pthread_mutex_unlock(&m);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  while (rc.load() == -1) {
+    tmcv_cond_signal(cond);
+    std::this_thread::yield();
+  }
+  waiter.join();
+  EXPECT_EQ(rc.load(), 0);
+  tmcv_cond_destroy(cond);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Tests for the Algorithm 2 reference implementation (GenericCondVar):
+// the spec-level object the practical queue implementation refines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/condvar.h"
+#include "core/generic_cv.h"
+#include "sync/sync_context.h"
+
+namespace tmcv {
+namespace {
+
+TEST(GenericCv, NotifyOnEmptySetIsNoOp) {
+  GenericCondVar<4> cv;
+  EXPECT_EQ(cv.notify_one(), GenericCondVar<4>::kInvalid);
+  EXPECT_EQ(cv.notify_all(), 0u);
+}
+
+TEST(GenericCv, WaitStep1SetsFlagAndInsertsIntoQueue) {
+  GenericCondVar<4> cv;
+  cv.wait_step1(2);
+  EXPECT_TRUE(cv.spin_flag(2));
+  EXPECT_TRUE(cv.in_queue(2));
+  // Invariant 3 shape: in Q implies spin set.
+  cv.notify_one();
+  EXPECT_FALSE(cv.in_queue(2));
+  EXPECT_FALSE(cv.spin_flag(2));
+}
+
+TEST(GenericCv, NotifyOneRemovesExactlyOne) {
+  GenericCondVar<4> cv;
+  cv.wait_step1(0);
+  cv.wait_step1(1);
+  cv.wait_step1(2);
+  const std::size_t victim = cv.notify_one();
+  ASSERT_NE(victim, GenericCondVar<4>::kInvalid);
+  EXPECT_FALSE(cv.in_queue(victim));
+  EXPECT_FALSE(cv.spin_flag(victim));
+  std::size_t still_queued = 0;
+  for (std::size_t p = 0; p < 3; ++p)
+    if (cv.in_queue(p)) ++still_queued;
+  EXPECT_EQ(still_queued, 2u);
+}
+
+TEST(GenericCv, NotifyAllDrainsEverything) {
+  GenericCondVar<8> cv;
+  for (std::size_t p = 0; p < 5; ++p) cv.wait_step1(p);
+  EXPECT_EQ(cv.notify_all(), 5u);
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_FALSE(cv.in_queue(p));
+    EXPECT_FALSE(cv.spin_flag(p));
+  }
+}
+
+TEST(GenericCv, FullWaitBlocksUntilNotify) {
+  GenericCondVar<2> cv;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    cv.wait(0);
+    woke.store(true);
+  });
+  while (!cv.in_queue(0)) std::this_thread::yield();
+  EXPECT_FALSE(woke.load());
+  EXPECT_EQ(cv.notify_one(), 0u);
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(GenericCv, ConcurrentWaitersAllFreedByNotifyAll) {
+  constexpr std::size_t kWaiters = 4;
+  GenericCondVar<kWaiters> cv;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (std::size_t p = 0; p < kWaiters; ++p) {
+    waiters.emplace_back([&, p] {
+      cv.wait(p);
+      woke.fetch_add(1);
+    });
+  }
+  for (std::size_t p = 0; p < kWaiters; ++p)
+    while (!cv.in_queue(p)) std::this_thread::yield();
+  EXPECT_EQ(cv.notify_all(), kWaiters);
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(woke.load(), static_cast<int>(kWaiters));
+}
+
+// Differential property: the practical queue implementation and the
+// Algorithm-2 reference must agree on the observable outcome of any
+// (waiters, notify script) configuration -- how many threads a script of
+// notify_one/notify_all calls frees.
+TEST(GenericCv, DifferentialAgainstPracticalCondVar) {
+  struct Script {
+    std::size_t waiters;
+    std::vector<int> notifies;  // -1 = notify_all, else notify_one
+  };
+  const std::vector<Script> scripts{
+      {3, {0, 0, 0}},
+      {3, {-1}},
+      {4, {0, -1}},
+      {2, {0, 0, 0}},   // more notifies than waiters
+      {5, {0, -1, 0}},  // trailing notify after a full drain
+  };
+  for (const Script& script : scripts) {
+    // Reference (Algorithm 2).
+    GenericCondVar<8> ref;
+    for (std::size_t p = 0; p < script.waiters; ++p) ref.wait_step1(p);
+    std::size_t ref_woken = 0;
+    for (int op : script.notifies) {
+      if (op < 0)
+        ref_woken += ref.notify_all();
+      else
+        ref_woken += ref.notify_one() != GenericCondVar<8>::kInvalid;
+    }
+
+    // Practical implementation (Algorithms 3-6) with real threads.
+    CondVar cv;
+    std::atomic<int> woken{0};
+    std::vector<std::thread> waiters;
+    for (std::size_t p = 0; p < script.waiters; ++p) {
+      waiters.emplace_back([&] {
+        NoSync sync;
+        cv.wait_final(sync);
+        woken.fetch_add(1);
+      });
+      while (cv.waiter_count() < p + 1) std::this_thread::yield();
+    }
+    std::size_t impl_woken = 0;
+    for (int op : script.notifies) {
+      if (op < 0)
+        impl_woken += cv.notify_all();
+      else
+        impl_woken += cv.notify_one() ? 1 : 0;
+    }
+    EXPECT_EQ(impl_woken, ref_woken) << "script size " << script.waiters;
+    // Drain leftovers so threads join.
+    while (woken.load() < static_cast<int>(impl_woken))
+      std::this_thread::yield();
+    cv.notify_all();
+    std::atomic<bool> joined{false};
+    std::thread drain([&] {
+      while (!joined.load()) {
+        cv.notify_all();
+        std::this_thread::yield();
+      }
+    });
+    for (auto& w : waiters) w.join();
+    joined.store(true);
+    drain.join();
+    // Both models freed the same number before the drain.
+    EXPECT_EQ(static_cast<std::size_t>(woken.load()), script.waiters);
+  }
+}
+
+TEST(GenericCv, PairedNotifyOnesFreeAllWaiters) {
+  constexpr std::size_t kWaiters = 3;
+  GenericCondVar<kWaiters> cv;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (std::size_t p = 0; p < kWaiters; ++p) {
+    waiters.emplace_back([&, p] {
+      cv.wait(p);
+      woke.fetch_add(1);
+    });
+  }
+  std::size_t freed = 0;
+  while (freed < kWaiters) {
+    if (cv.notify_one() != GenericCondVar<kWaiters>::kInvalid) ++freed;
+    std::this_thread::yield();
+  }
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(woke.load(), static_cast<int>(kWaiters));
+  // Nothing left.
+  EXPECT_EQ(cv.notify_one(), GenericCondVar<kWaiters>::kInvalid);
+}
+
+}  // namespace
+}  // namespace tmcv

@@ -1,0 +1,206 @@
+// Unit and stress tests for futex-based semaphores (the paper's sem_t
+// substrate) and the futex wrapper itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/futex.h"
+#include "sync/semaphore.h"
+
+namespace tmcv {
+namespace {
+
+TEST(Futex, WakeWithNoWaitersReturnsZero) {
+  std::atomic<std::uint32_t> word{0};
+  EXPECT_EQ(futex_wake(&word, 1), 0);
+}
+
+TEST(Futex, WaitReturnsImmediatelyOnValueMismatch) {
+  std::atomic<std::uint32_t> word{5};
+  futex_wait(&word, 4);  // must not block
+  SUCCEED();
+}
+
+TEST(Semaphore, InitialValue) {
+  Semaphore s(3);
+  EXPECT_EQ(s.value(), 3u);
+  s.wait();
+  s.wait();
+  EXPECT_EQ(s.value(), 1u);
+}
+
+TEST(Semaphore, TryWaitFailsAtZero) {
+  Semaphore s(1);
+  EXPECT_TRUE(s.try_wait());
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(Semaphore, PostThenWaitDoesNotBlock) {
+  Semaphore s;
+  s.post();
+  s.wait();
+  EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Semaphore, PostNProducesNTokens) {
+  Semaphore s;
+  s.post(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(s.try_wait());
+  EXPECT_FALSE(s.try_wait());
+}
+
+TEST(Semaphore, WakesBlockedWaiter) {
+  Semaphore s;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    s.wait();
+    woke.store(true);
+  });
+  // Give the waiter a chance to block, then release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  s.post();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Semaphore, TokensAreConserved) {
+  // Conservation is the property the condvar proofs rely on: total waits
+  // completed == total posts consumed, across arbitrary interleavings.
+  constexpr int kThreads = 4;
+  constexpr int kTokensPerThread = 2000;
+  Semaphore s;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    consumers.emplace_back([&] {
+      for (int i = 0; i < kTokensPerThread; ++i) {
+        s.wait();
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread producer([&] {
+    for (int i = 0; i < kThreads * kTokensPerThread; ++i) s.post();
+  });
+  producer.join();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(consumed.load(), kThreads * kTokensPerThread);
+  EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(BinarySemaphore, StartsUnsignaledByDefault) {
+  BinarySemaphore b;
+  EXPECT_FALSE(b.signaled());
+  EXPECT_FALSE(b.try_wait());
+}
+
+TEST(BinarySemaphore, PostIsIdempotent) {
+  BinarySemaphore b;
+  b.post();
+  b.post();
+  b.post();
+  EXPECT_TRUE(b.try_wait());
+  // The clamp means only one token exists no matter how many posts landed.
+  EXPECT_FALSE(b.try_wait());
+}
+
+TEST(BinarySemaphore, PostBeforeWaitSticks) {
+  // The lost-wakeup immunity of the condvar depends on this: a post landing
+  // before the owner blocks must satisfy the subsequent wait.
+  BinarySemaphore b;
+  b.post();
+  b.wait();  // must not block
+  EXPECT_FALSE(b.signaled());
+}
+
+TEST(BinarySemaphore, WakesBlockedWaiter) {
+  BinarySemaphore b;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    b.wait();
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  b.post();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Futex, WaitForTimesOut) {
+  std::atomic<std::uint32_t> word{0};
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(futex_wait_for(&word, 0, 20'000'000));  // 20 ms
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+}
+
+TEST(Futex, WaitForReturnsOnValueMismatch) {
+  std::atomic<std::uint32_t> word{7};
+  EXPECT_TRUE(futex_wait_for(&word, 6, 1'000'000'000));  // immediate
+}
+
+TEST(Semaphore, WaitForTimesOutWithoutToken) {
+  Semaphore s;
+  EXPECT_FALSE(s.wait_for(10'000'000));  // 10 ms
+  EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Semaphore, WaitForConsumesAvailableToken) {
+  Semaphore s(1);
+  EXPECT_TRUE(s.wait_for(1'000'000'000));
+  EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Semaphore, WaitForWokenByPost) {
+  Semaphore s;
+  std::atomic<bool> got{false};
+  std::thread waiter([&] { got.store(s.wait_for(10'000'000'000ull)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.post();
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BinarySemaphore, WaitForTimesOutAndSucceeds) {
+  BinarySemaphore b;
+  EXPECT_FALSE(b.wait_for(5'000'000));  // 5 ms, no token
+  b.post();
+  EXPECT_TRUE(b.wait_for(5'000'000));  // token present
+  EXPECT_FALSE(b.signaled());
+}
+
+TEST(BinarySemaphore, PingPong) {
+  // Two threads alternating strictly via two binary semaphores.
+  BinarySemaphore ping, pong;
+  constexpr int kRounds = 5000;
+  int sequence_errors = 0;
+  int turn = 0;  // written alternately, read by both under the semaphores
+  std::thread a([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ping.wait();
+      if (turn != 0) ++sequence_errors;
+      turn = 1;
+      pong.post();
+    }
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      pong.wait();
+      if (turn != 1) ++sequence_errors;
+      turn = 0;
+      ping.post();
+    }
+  });
+  ping.post();  // start the game
+  a.join();
+  b.join();
+  EXPECT_EQ(sequence_errors, 0);
+}
+
+}  // namespace
+}  // namespace tmcv

@@ -1,0 +1,119 @@
+// HTM-emulation specifics: capacity aborts, syscall aborts, and the serial
+// fallback path (the "Haswell" behaviours the condvar design works around).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tm/api.h"
+#include "tm/var.h"
+#include "util/cpu.h"
+
+namespace tmcv::tm {
+namespace {
+
+TEST(TmHtm, WriteCapacityAbortFallsBackToSerial) {
+  stats_reset();
+  constexpr std::size_t kVars = TxDescriptor::kHtmWriteCapacity + 8;
+  std::vector<std::unique_ptr<var<int>>> vars;
+  for (std::size_t i = 0; i < kVars; ++i)
+    vars.push_back(std::make_unique<var<int>>(0));
+  // Too many writes for a hardware transaction: every optimistic attempt
+  // takes a capacity abort, then the serial fallback completes it.
+  atomically(Backend::HTM, [&] {
+    for (std::size_t i = 0; i < kVars; ++i) vars[i]->store(1);
+  });
+  for (std::size_t i = 0; i < kVars; ++i) EXPECT_EQ(vars[i]->load(), 1);
+  const Stats s = stats_snapshot();
+  EXPECT_GT(s.htm_capacity_aborts, 0u);
+  EXPECT_GT(s.serial_fallbacks, 0u);
+}
+
+TEST(TmHtm, ReadCapacityAbortFallsBackToSerial) {
+  stats_reset();
+  constexpr std::size_t kVars = TxDescriptor::kHtmReadCapacity + 8;
+  std::vector<std::unique_ptr<var<int>>> vars;
+  for (std::size_t i = 0; i < kVars; ++i)
+    vars.push_back(std::make_unique<var<int>>(static_cast<int>(i)));
+  long sum = 0;
+  atomically(Backend::HTM, [&] {
+    sum = 0;
+    for (std::size_t i = 0; i < kVars; ++i) sum += vars[i]->load();
+  });
+  EXPECT_EQ(sum, static_cast<long>(kVars * (kVars - 1) / 2));
+  EXPECT_GT(stats_snapshot().htm_capacity_aborts, 0u);
+}
+
+TEST(TmHtm, SyscallFenceAbortsHardwareTransaction) {
+  stats_reset();
+  var<int> x(0);
+  int optimistic_attempts = 0;
+  atomically(Backend::HTM, [&] {
+    x.store(1);
+    if (descriptor().state() == TxState::Optimistic) {
+      ++optimistic_attempts;
+      syscall_fence();  // aborts: a syscall would kill a real RTM txn
+    }
+    x.store(2);
+  });
+  // Completed only via the serial fallback.
+  EXPECT_EQ(x.load(), 2);
+  EXPECT_EQ(optimistic_attempts, kHtmAttemptsBeforeSerial);
+  const Stats s = stats_snapshot();
+  EXPECT_EQ(s.htm_syscall_aborts, static_cast<std::uint64_t>(
+                                      kHtmAttemptsBeforeSerial));
+  EXPECT_GT(s.serial_fallbacks, 0u);
+}
+
+TEST(TmHtm, SyscallFenceNoOpInStmAndSerial) {
+  var<int> x(0);
+  atomically(Backend::EagerSTM, [&] {
+    syscall_fence();  // STM tolerates it (would go irrevocable in GCC)
+    x.store(1);
+  });
+  EXPECT_EQ(x.load(), 1);
+  irrevocably([&] {
+    syscall_fence();
+    x.store(2);
+  });
+  EXPECT_EQ(x.load(), 2);
+  syscall_fence();  // outside any transaction: no-op
+}
+
+TEST(TmHtm, SmallTransactionsStayOptimistic) {
+  stats_reset();
+  var<int> x(0);
+  for (int i = 0; i < 100; ++i)
+    atomically(Backend::HTM, [&] { x.store(x.load() + 1); });
+  EXPECT_EQ(x.load(), 100);
+  const Stats s = stats_snapshot();
+  // Uncontended small transactions: no capacity pressure, no fallback.
+  EXPECT_EQ(s.htm_capacity_aborts, 0u);
+  EXPECT_EQ(s.serial_fallbacks, 0u);
+}
+
+TEST(TmHtm, ConflictingHtmTransactionsAllComplete) {
+  var<long> counter(0);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i)
+        atomically(Backend::HTM, [&] { counter.store(counter.load() + 1); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.load(), static_cast<long>(kThreads) * kIters);
+}
+
+TEST(TmHtm, RtmDetectionIsConsistent) {
+  // The container may or may not have TSX; the emulation must be selected
+  // deterministically either way.  (We always emulate; this documents the
+  // substitution and exercises the probe.)
+  const bool rtm = cpu_has_rtm();
+  (void)rtm;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tmcv::tm

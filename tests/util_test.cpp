@@ -1,0 +1,137 @@
+// Unit tests for src/util: PRNGs, statistics, backoff, CPU queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/backoff.h"
+#include "util/cpu.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timing.h"
+
+namespace tmcv {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicSequence) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Xoshiro256, NextBelowCoversRange) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarySingleElementHasZeroStddev) {
+  const std::vector<double> xs{3.5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsOne) { EXPECT_DOUBLE_EQ(geomean({}), 1.0); }
+
+TEST(Stats, GeomeanInvariantToOrder) {
+  const std::vector<double> a{0.5, 2.0, 1.25, 0.8};
+  const std::vector<double> b{0.8, 1.25, 2.0, 0.5};
+  EXPECT_DOUBLE_EQ(geomean(a), geomean(b));
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, RunTrialsCollectsAll) {
+  int calls = 0;
+  const auto times = run_trials(5, [&] {
+    ++calls;
+    return static_cast<double>(calls);
+  });
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times[4], 5.0);
+}
+
+TEST(Backoff, EscalatesToYield) {
+  Backoff b(3);
+  for (int i = 0; i < 10; ++i) b.wait();
+  EXPECT_EQ(b.rounds(), 3u);
+  b.reset();
+  EXPECT_EQ(b.rounds(), 0u);
+}
+
+TEST(Cpu, OnlineCpusAtLeastOne) { EXPECT_GE(online_cpus(), 1u); }
+
+TEST(Cpu, RtmQueryDoesNotCrash) {
+  // Value is hardware-dependent; just exercise the cpuid path.
+  (void)cpu_has_rtm();
+  SUCCEED();
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Burn a little time deterministically.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i)
+    sink = sink + static_cast<std::uint64_t>(i);
+  EXPECT_GT(sw.elapsed_nanos(), 0u);
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace tmcv

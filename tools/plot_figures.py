@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Render the paper-style figures from the bench binaries' CSV output.
+
+The figure benches (fig1_westmere, fig2_haswell, fig3_speedup) emit lines of
+the form
+
+    CSV,<figure>,<kernel>,<system>,<threads>,<mean_s>,<stddev_s>
+    CSV,Figure3-<panel>,<kernel>,<threads>,<tmcv_speedup>,<tm_speedup>
+
+Pipe or save any combination of their outputs and feed the file(s) here:
+
+    ./build/bench/fig1_westmere | tee fig1.txt
+    tools/plot_figures.py fig1.txt -o plots/
+
+With matplotlib installed, one PNG per figure panel is produced (the same
+sub-plots as the paper's Figures 1/2); without it, the script falls back to
+ASCII charts on stdout so the tool is usable in minimal containers.
+"""
+
+import argparse
+import collections
+import csv
+import os
+import sys
+
+Point = collections.namedtuple("Point", "threads mean stddev")
+
+
+def parse(paths):
+    """figure -> kernel -> system -> [Point]"""
+    data = collections.defaultdict(
+        lambda: collections.defaultdict(lambda: collections.defaultdict(list)))
+    for path in paths:
+        with open(path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row or row[0] != "CSV":
+                    continue
+                if row[1].startswith("Figure3"):
+                    continue  # the bar chart is printed by the bench itself
+                _, figure, kernel, system, threads, mean, stddev = row
+                data[figure][kernel][system].append(
+                    Point(int(threads), float(mean), float(stddev)))
+    return data
+
+
+def ascii_panel(figure, kernel, systems):
+    print(f"\n== {figure}: {kernel} ==")
+    peak = max(p.mean for pts in systems.values() for p in pts) or 1.0
+    width = 46
+    for system, pts in systems.items():
+        print(f"  {system}")
+        for p in sorted(pts):
+            bar = "#" * max(1, int(p.mean / peak * width))
+            print(f"    t={p.threads:<3d} {p.mean*1e3:9.2f} ms |{bar}")
+
+
+def matplotlib_panel(figure, kernel, systems, outdir):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(5, 3.2))
+    for system, pts in systems.items():
+        pts = sorted(pts)
+        ax.errorbar([p.threads for p in pts], [p.mean for p in pts],
+                    yerr=[p.stddev for p in pts], marker="o", capsize=2,
+                    label=system)
+    ax.set_xlabel("Threads")
+    ax.set_ylabel("Time in seconds")
+    ax.set_title(f"{figure}: {kernel}")
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    path = os.path.join(outdir, f"{figure}_{kernel}.png".replace("/", "_"))
+    fig.savefig(path, dpi=150)
+    plt.close(fig)
+    return path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+", help="bench output files")
+    ap.add_argument("-o", "--outdir", default="plots",
+                    help="PNG output directory (with matplotlib)")
+    args = ap.parse_args()
+
+    data = parse(args.inputs)
+    if not data:
+        print("no CSV rows found", file=sys.stderr)
+        return 1
+
+    try:
+        import matplotlib  # noqa: F401
+        have_mpl = True
+        os.makedirs(args.outdir, exist_ok=True)
+    except ImportError:
+        have_mpl = False
+        print("(matplotlib unavailable; ASCII fallback)\n", file=sys.stderr)
+
+    for figure, kernels in sorted(data.items()):
+        for kernel, systems in kernels.items():
+            if have_mpl:
+                print("wrote",
+                      matplotlib_panel(figure, kernel, systems, args.outdir))
+            else:
+                ascii_panel(figure, kernel, systems)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
