@@ -1,5 +1,7 @@
 #include "core/condvar.h"
 
+#include <vector>
+
 namespace tmcv {
 
 namespace detail {
@@ -25,6 +27,7 @@ void CondVar::enqueue_self(detail::WaitNode& node) {
       tail->next.store(&node);
       tail_.store(&node);
     }
+    size_.store(size_.load() + 1);
   });
 }
 
@@ -35,6 +38,7 @@ void CondVar::unlink(detail::WaitNode* prev, detail::WaitNode* node) {
   else
     prev->next.store(next);
   if (tail_.load() == node) tail_.store(prev);
+  size_.store(size_.load() - 1);
 }
 
 bool CondVar::try_remove_self(detail::WaitNode& node) {
@@ -73,10 +77,11 @@ bool CondVar::notify_one() {
       }
     }
     unlink(prev, victim);
-    // Line 9: wake the thread when the outermost transaction commits.  If
-    // this transaction ultimately aborts, the handler is discarded and no
-    // wake-up escapes (§3.2).
-    tm::on_commit([victim] { victim->sem.post(); });
+    // Line 9: wake the thread when the outermost transaction commits.  The
+    // wake batch replaces the per-victim onCommit closure: zero handler
+    // allocations, and an abort discards the batch so no wake-up escapes
+    // (§3.2).
+    tm::defer_wake(&victim->sem);
     notified = true;
   });
   count_notify(notify_one_calls_, notified ? 1 : 0);
@@ -91,14 +96,17 @@ std::size_t CondVar::notify_all() {
     if (sn == nullptr) return;
     head_.store(nullptr);
     tail_.store(nullptr);
+    size_.store(0);
     // Accesses to next fields stay inside the transaction (§3.3): the nodes
     // are reachable only because their owners' enqueue transactions
     // committed and no intervening notify removed them, so no owner can be
-    // at WAIT line 1 and no race with its plain store is possible.
+    // at WAIT line 1 and no race with its plain store is possible.  Victims
+    // join the descriptor's wake batch -- one coalesced post_batch at
+    // commit, O(1) handler allocations for any N.
     while (sn != nullptr) {
       detail::WaitNode* node = sn;
       sn = sn->next.load();
-      tm::on_commit([node] { node->sem.post(); });
+      tm::defer_wake(&node->sem);
       ++count;
     }
   });
@@ -110,34 +118,65 @@ std::size_t CondVar::notify_n(std::size_t n) {
   std::size_t count = 0;
   tm::atomically([&] {
     count = 0;
-    while (count < n) {
-      detail::WaitNode* sn = head_.load();
-      if (sn == nullptr) break;
-      detail::WaitNode* victim = sn;
-      detail::WaitNode* prev = nullptr;
-      if (policy_ == WakePolicy::LIFO) {
-        while (detail::WaitNode* nx = victim->next.load()) {
-          prev = victim;
-          victim = nx;
-        }
+    if (n == 0) return;
+    if (policy_ == WakePolicy::FIFO) {
+      // FIFO victims are head pops: O(1) each.
+      while (count < n) {
+        detail::WaitNode* victim = head_.load();
+        if (victim == nullptr) break;
+        unlink(nullptr, victim);
+        tm::defer_wake(&victim->sem);
+        ++count;
       }
-      unlink(prev, victim);
-      tm::on_commit([victim] { victim->sem.post(); });
-      ++count;
+      return;
     }
+    // LIFO: the victims are the last n nodes, i.e. a suffix of the list.
+    // One traversal with a ring of the trailing n+1 pointers finds both the
+    // suffix and its predecessor (the new tail), instead of restarting the
+    // walk from head per victim (which was O(n^2)).  The ring grows to at
+    // most min(n+1, waiters) entries and is reused across calls.
+    thread_local std::vector<detail::WaitNode*> ring;
+    ring.clear();
+    const std::size_t cap = n + 1 == 0 ? n : n + 1;  // saturate, no wrap
+    std::size_t len = 0;
+    for (detail::WaitNode* cur = head_.load(); cur != nullptr;
+         cur = cur->next.load()) {
+      if (ring.size() < cap)
+        ring.push_back(cur);
+      else
+        ring[len % cap] = cur;
+      ++len;
+    }
+    if (len == 0) return;
+    if (len <= n) {
+      // Everyone goes: drain the whole queue, most recent first.
+      for (std::size_t p = len; p > 0; --p) tm::defer_wake(&ring[p - 1]->sem);
+      head_.store(nullptr);
+      tail_.store(nullptr);
+      size_.store(0);
+      count = len;
+      return;
+    }
+    // The ring holds positions len-n-1 .. len-1: the new tail followed by
+    // the n victims.  Cut the suffix and wake it, most recent first.
+    detail::WaitNode* boundary = ring[(len - n - 1) % cap];
+    for (std::size_t p = len; p > len - n; --p)
+      tm::defer_wake(&ring[(p - 1) % cap]->sem);
+    boundary->next.store(nullptr);
+    tail_.store(boundary);
+    size_.store(len - n);
+    count = n;
   });
   count_notify(notify_all_calls_, count);
   return count;
 }
 
 std::size_t CondVar::waiter_count() const {
+  // O(1): the size field is maintained transactionally by enqueue/unlink,
+  // replacing the O(n) queue walk (which also manufactured conflicts with
+  // every enqueue/dequeue it overlapped).
   std::size_t count = 0;
-  tm::atomically([&] {
-    count = 0;
-    for (detail::WaitNode* cur = head_.load(); cur != nullptr;
-         cur = cur->next.load())
-      ++count;
-  });
+  tm::atomically([&] { count = size_.load(); });
   return count;
 }
 

@@ -239,7 +239,7 @@ class CondVar {
       }
       if (best == nullptr) return;
       unlink(best_prev, best);
-      tm::on_commit([best] { best->sem.post(); });
+      tm::defer_wake(&best->sem);
       notified = true;
     });
     count_notify(notify_best_calls_, notified ? 1 : 0);
@@ -321,6 +321,9 @@ class CondVar {
 
   tm::var<detail::WaitNode*> head_{nullptr};
   tm::var<detail::WaitNode*> tail_{nullptr};
+  // Queue length, maintained transactionally by enqueue/unlink/drain so
+  // waiter_count() is an O(1) read instead of an O(n) walk.
+  tm::var<std::size_t> size_{0};
   WakePolicy policy_;
 
   // Metrics (relaxed; see CondVarStats).

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 
 #include "sync/futex.h"
@@ -168,6 +169,27 @@ class BinarySemaphore {
   void post() noexcept {
     if (state_.exchange(1, std::memory_order_release) == 0)
       futex_wake(&state_, 1);
+  }
+
+  // Batch-post over distinct semaphores: publish every token first, then
+  // issue the futex wakes.  The TM wake batch uses this so a notify-all of
+  // N waiters makes all tokens visible in one pass before any kernel work,
+  // and wakes only the semaphores whose token was actually absent (a waiter
+  // that raced in on its fast path costs no syscall at all).  Posting the
+  // same semaphore twice in a batch is safe (post is idempotent).
+  static void post_batch(BinarySemaphore* const* sems,
+                         std::size_t n) noexcept {
+    constexpr std::size_t kChunk = 64;
+    for (std::size_t base = 0; base < n; base += kChunk) {
+      const std::size_t m = n - base < kChunk ? n - base : kChunk;
+      std::uint64_t need_wake = 0;
+      for (std::size_t i = 0; i < m; ++i)
+        if (sems[base + i]->state_.exchange(1, std::memory_order_release) ==
+            0)
+          need_wake |= 1ull << i;
+      for (std::size_t i = 0; i < m; ++i)
+        if (need_wake & (1ull << i)) futex_wake(&sems[base + i]->state_, 1);
+    }
   }
 
   [[nodiscard]] bool signaled() const noexcept {

@@ -52,6 +52,16 @@ inline void on_abort(std::function<void()> fn) {
   descriptor().on_abort(std::move(fn));
 }
 
+// Queue a semaphore post for the outermost enclosing commit (immediate when
+// no transaction is active).  The allocation-free specialization of
+// on_commit for the notify fast path: victims accumulate in a per-descriptor
+// wake batch and are posted with one coalesced BinarySemaphore::post_batch
+// after publication; an abort discards the batch, so no wake escapes an
+// aborted transaction (Algorithms 5/6).
+inline void defer_wake(BinarySemaphore* sem) {
+  descriptor().defer_wake(sem);
+}
+
 // Models "a syscall aborts a hardware transaction" (§3.2).  The condvar
 // implementation calls this in front of every semaphore operation; correct
 // usage never trips it because WAIT commits before sleeping and NOTIFY

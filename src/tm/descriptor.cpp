@@ -1,8 +1,10 @@
 #include "tm/descriptor.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sync/futex.h"
+#include "sync/semaphore.h"
 #include "tm/registry.h"
 #include "tm/serial.h"
 #include "util/backoff.h"
@@ -40,19 +42,24 @@ const char* to_string(Backend b) noexcept {
 }
 
 TxDescriptor::TxDescriptor() : slot_(0) {
-  read_set_.reserve(kInitialLogCapacity);
+  rs_storage_ = std::make_unique<ReadEntry[]>(kInitialLogCapacity);
+  rs_base_ = rs_end_ = rs_storage_.get();
+  rs_cap_ = rs_base_ + (kInitialLogCapacity - 1);  // one slack slot
   lock_set_.reserve(kInitialLogCapacity);
   undo_log_.reserve(kInitialLogCapacity);
   redo_log_.reserve(kInitialLogCapacity);
+  wake_batch_.reserve(kInitialLogCapacity);
 }
 
 void TxDescriptor::attach() {
   slot_ = registry().register_thread(this);
+  detail::tls_descriptor = this;
 }
 
 void TxDescriptor::detach() {
   TMCV_ASSERT_MSG(state_ == TxState::Idle,
                   "thread exited with an open transaction");
+  detail::tls_descriptor = nullptr;
   registry().unregister_thread(slot_, stats_);
   stats_ = Stats{};
 }
@@ -95,7 +102,11 @@ void pool_release(TxDescriptor* desc) {
 
 }  // namespace
 
-TxDescriptor& descriptor() noexcept {
+namespace detail {
+thread_local TxDescriptor* tls_descriptor = nullptr;
+}  // namespace detail
+
+TxDescriptor& descriptor_slow() noexcept {
   struct Holder {
     TxDescriptor* desc;
     Holder() : desc(pool_acquire()) {}
@@ -164,6 +175,15 @@ void TxDescriptor::begin_top(Backend b, std::uint32_t depth) {
   depth_ = depth;
   split_done_ = false;
   start_time_ = g_clock.now();
+  new_log_epoch();
+}
+
+void TxDescriptor::new_log_epoch() noexcept {
+  ++log_epoch_;
+  epoch_tag_ = log_epoch_ & kFilterEpochMask;
+  redo_index_.reset(log_epoch_);
+  lock_index_.reset(log_epoch_);
+  htm_reads_ = 0;
 }
 
 void TxDescriptor::commit_top() {
@@ -283,7 +303,8 @@ void TxDescriptor::begin_sync_block(bool irrevocable) {
 // Reads
 // ---------------------------------------------------------------------------
 
-std::uint64_t TxDescriptor::read_word(const std::atomic<std::uint64_t>* addr) {
+std::uint64_t TxDescriptor::read_word_slow(
+    const std::atomic<std::uint64_t>* addr) {
   switch (state_) {
     case TxState::Idle:
       TMCV_ASSERT_MSG(!split_done_,
@@ -295,6 +316,8 @@ std::uint64_t TxDescriptor::read_word(const std::atomic<std::uint64_t>* addr) {
     case TxState::Optimistic:
       break;
   }
+  // Unreachable from the inline read_word (which handles Optimistic), but
+  // kept complete so the function is safe to call in any state.
   if (backend_ == Backend::LazySTM) {
     if (const RedoEntry* e = find_redo(addr)) return e->value;
   }
@@ -339,10 +362,13 @@ std::uint64_t TxDescriptor::read_optimistic(
         abort_restart(TxAbort::Reason::Conflict);
       continue;  // revalidated forward; retry against the new snapshot
     }
-    if (backend_ == Backend::HTM && read_set_.size() >= kHtmReadCapacity)
+    // HTM capacity is a per-read footprint (pre-dedup): the emulated buffer
+    // must not widen just because the software read set got denser.
+    if (backend_ == Backend::HTM && ++htm_reads_ > kHtmReadCapacity)
       abort_restart(TxAbort::Reason::Capacity);
-    read_set_.push_back(ReadEntry{&o, seen});
     ++stats_.reads;
+    const auto idx = static_cast<std::uint64_t>(&o - detail::g_orecs);
+    note_read(&o, seen, idx);
     return value;
   }
 }
@@ -391,7 +417,7 @@ void TxDescriptor::write_eager(std::atomic<std::uint64_t>* addr,
     if (o.compare_exchange_strong(cur, make_locked(slot_),
                                   std::memory_order_acq_rel,
                                   std::memory_order_acquire)) {
-      lock_set_.push_back(LockEntry{&o, cur});
+      note_lock(&o, cur);
       break;
     }
     // CAS lost a race; re-examine the new word.
@@ -406,7 +432,9 @@ void TxDescriptor::write_lazy(std::atomic<std::uint64_t>* addr,
     e->value = value;
     return;
   }
+  const auto idx = static_cast<std::uint32_t>(redo_log_.size());
   redo_log_.push_back(RedoEntry{addr, value});
+  if (redo_index_.insert(addr, idx)) ++stats_.log_index_rehashes;
 }
 
 // ---------------------------------------------------------------------------
@@ -455,7 +483,7 @@ void TxDescriptor::commit_lazy() {
       if (o.compare_exchange_strong(cur, make_locked(slot_),
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
-        lock_set_.push_back(LockEntry{&o, cur});
+        note_lock(&o, cur);
         break;
       }
     }
@@ -481,6 +509,9 @@ void TxDescriptor::rollback() noexcept {
   // exactly what those versions stamped.
   for (const LockEntry& e : lock_set_)
     e.orec->store(e.prior, std::memory_order_release);
+  // A discarded notify releases nothing: the wake batch dies with the
+  // transaction (Algorithm 5/6 abort semantics).
+  wake_batch_.clear();
   reset_logs();
 }
 
@@ -493,9 +524,9 @@ bool TxDescriptor::extend() {
 }
 
 bool TxDescriptor::reads_valid() const noexcept {
-  for (const ReadEntry& e : read_set_) {
-    const OrecWord cur = e.orec->load(std::memory_order_acquire);
-    if (cur == e.seen) continue;
+  for (const ReadEntry* e = rs_base_; e != rs_end_; ++e) {
+    const OrecWord cur = e->orec->load(std::memory_order_acquire);
+    if (cur == e->seen) continue;
     // A stripe we later locked ourselves is still valid: nobody else could
     // have changed it between our (validated) read and our lock.
     if (orec_locked_by_me(cur)) continue;
@@ -514,7 +545,24 @@ void TxDescriptor::on_commit(std::function<void()> fn) {
     fn();
     return;
   }
+  ++stats_.handlers_registered;
   commit_handlers_.push_back(std::move(fn));
+}
+
+void TxDescriptor::defer_wake(BinarySemaphore* sem) {
+  if (!in_txn()) {
+    sem->post();
+    return;
+  }
+  ++stats_.deferred_wakes;
+  wake_batch_.push_back(sem);
+}
+
+void TxDescriptor::flush_wake_batch() noexcept {
+  if (wake_batch_.empty()) return;
+  ++stats_.wake_batches;
+  BinarySemaphore::post_batch(wake_batch_.data(), wake_batch_.size());
+  wake_batch_.clear();
 }
 
 void TxDescriptor::on_abort(std::function<void()> fn) {
@@ -523,6 +571,9 @@ void TxDescriptor::on_abort(std::function<void()> fn) {
 }
 
 void TxDescriptor::run_commit_handlers() {
+  // Wakes first: they are plain futex posts (no user code, no reentrancy),
+  // and a wait_at_commit handler queued behind them may block this thread.
+  flush_wake_batch();
   abort_handlers_.clear();
   if (commit_handlers_.empty()) return;
   // Handlers run post-commit with no transaction active; they may themselves
@@ -565,24 +616,30 @@ std::uint32_t TxDescriptor::htm_chaos_per_million() noexcept {
 // Log helpers
 // ---------------------------------------------------------------------------
 
-TxDescriptor::LockEntry* TxDescriptor::find_lock(const Orec* o) noexcept {
-  for (LockEntry& e : lock_set_)
-    if (e.orec == o) return &e;
-  return nullptr;
+void TxDescriptor::read_set_grow() {
+  // Doubles the buffer while preserving the slack-slot invariant
+  // (rs_cap_ points one entry before the true end, so note_read's
+  // unconditional store is always in bounds).
+  const auto live = static_cast<std::size_t>(rs_end_ - rs_base_);
+  const auto old_cap = static_cast<std::size_t>(rs_cap_ - rs_base_) + 1;
+  const std::size_t new_cap = old_cap * 2;
+  auto fresh = std::make_unique<ReadEntry[]>(new_cap);
+  std::copy(rs_base_, rs_end_, fresh.get());
+  rs_storage_ = std::move(fresh);
+  rs_base_ = rs_storage_.get();
+  rs_end_ = rs_base_ + live;
+  rs_cap_ = rs_base_ + (new_cap - 1);
 }
 
-TxDescriptor::RedoEntry* TxDescriptor::find_redo(
-    const std::atomic<std::uint64_t>* addr) noexcept {
-  // Linear scan: write sets in this workload are tiny (< 10 entries for all
-  // condvar transactions, per the paper).  A hash index would pay for itself
-  // only beyond ~100 entries.
-  for (RedoEntry& e : redo_log_)
-    if (e.addr == addr) return &e;
-  return nullptr;
+void TxDescriptor::note_lock(Orec* o, OrecWord prior) {
+  const auto idx = static_cast<std::uint32_t>(lock_set_.size());
+  lock_set_.push_back(LockEntry{o, prior});
+  if (lock_index_.insert(o, idx)) ++stats_.log_index_rehashes;
 }
 
 void TxDescriptor::reset_logs() noexcept {
-  read_set_.clear();
+  stats_.read_dedup_appends += static_cast<std::uint64_t>(rs_end_ - rs_base_);
+  rs_end_ = rs_base_;
   lock_set_.clear();
   undo_log_.clear();
   redo_log_.clear();

@@ -4,27 +4,17 @@
 
 namespace tmcv::tm {
 
-namespace {
+namespace detail {
 
 // Static table: zero-initialized, i.e. every orec starts unlocked at
 // version 0, matching the clock's initial time.
 Orec g_orecs[kOrecCount];
 
-}  // namespace
-
-Orec& orec_for(const void* addr) noexcept {
-  // Drop the low 3 bits (all transactional words are 8-byte aligned), then
-  // Fibonacci-hash so nearby words spread across the table.
-  const auto bits = reinterpret_cast<std::uintptr_t>(addr) >> 3;
-  const std::uint64_t h =
-      (static_cast<std::uint64_t>(bits) * 0x9e3779b97f4a7c15ULL) >>
-      (64 - kOrecCountLog2);
-  return g_orecs[h];
-}
+}  // namespace detail
 
 Orec& orec_at(std::uint64_t index) noexcept {
   TMCV_ASSERT(index < kOrecCount);
-  return g_orecs[index];
+  return detail::g_orecs[index];
 }
 
 }  // namespace tmcv::tm

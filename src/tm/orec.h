@@ -43,8 +43,23 @@ inline constexpr std::uint64_t kOrecCount = 1ull << kOrecCountLog2;
   return (slot << 1) | 1ull;
 }
 
+namespace detail {
+// The process-global table.  Exposed only so orec_for inlines into the
+// transactional read/write fast paths (one multiply + one indexed load,
+// no call); treat as private to orec.h/orec.cpp.
+extern Orec g_orecs[kOrecCount];
+}  // namespace detail
+
 // Map a data address to its orec.
-[[nodiscard]] Orec& orec_for(const void* addr) noexcept;
+[[nodiscard]] inline Orec& orec_for(const void* addr) noexcept {
+  // Drop the low 3 bits (all transactional words are 8-byte aligned), then
+  // Fibonacci-hash so nearby words spread across the table.
+  const auto bits = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  const std::uint64_t h =
+      (static_cast<std::uint64_t>(bits) * 0x9e3779b97f4a7c15ULL) >>
+      (64 - kOrecCountLog2);
+  return detail::g_orecs[h];
+}
 
 // Direct access to the table (tests exercise striping/aliasing).
 [[nodiscard]] Orec& orec_at(std::uint64_t index) noexcept;

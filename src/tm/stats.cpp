@@ -20,6 +20,12 @@ Stats& Stats::operator+=(const Stats& o) noexcept {
   htm_syscall_aborts += o.htm_syscall_aborts;
   htm_chaos_aborts += o.htm_chaos_aborts;
   handlers_run += o.handlers_run;
+  read_dedup_hits += o.read_dedup_hits;
+  read_dedup_appends += o.read_dedup_appends;
+  log_index_rehashes += o.log_index_rehashes;
+  handlers_registered += o.handlers_registered;
+  deferred_wakes += o.deferred_wakes;
+  wake_batches += o.wake_batches;
   return *this;
 }
 
@@ -32,7 +38,11 @@ std::string Stats::to_string() const {
      << " htm_capacity_aborts=" << htm_capacity_aborts
      << " htm_syscall_aborts=" << htm_syscall_aborts
      << " htm_chaos_aborts=" << htm_chaos_aborts
-     << " handlers=" << handlers_run;
+     << " handlers=" << handlers_run
+     << " dedup_hits=" << read_dedup_hits
+     << " dedup_appends=" << read_dedup_appends
+     << " wake_batches=" << wake_batches
+     << " deferred_wakes=" << deferred_wakes;
   return os.str();
 }
 

@@ -11,11 +11,17 @@
 namespace tmcv::tm {
 
 struct Stats {
+  // The first four fields are the read/write fast-path counters: keep them
+  // together so the per-access increments touch a single cache line.
+  std::uint64_t reads = 0;               // instrumented word reads
+  std::uint64_t read_dedup_hits = 0;     // reads coalesced into an existing
+                                         // read-set entry (filter or scan)
+  std::uint64_t read_dedup_appends = 0;  // read-set entries actually logged
+  std::uint64_t writes = 0;              // instrumented word writes
+
   std::uint64_t commits = 0;           // outermost commits (any backend)
   std::uint64_t ro_commits = 0;        // read-only commits
   std::uint64_t aborts = 0;            // aborts + retries
-  std::uint64_t reads = 0;             // instrumented word reads
-  std::uint64_t writes = 0;            // instrumented word writes
   std::uint64_t extensions = 0;        // successful timestamp extensions
   std::uint64_t serial_commits = 0;    // irrevocable/relaxed sections
   std::uint64_t serial_fallbacks = 0;  // optimistic -> serial escalations
@@ -23,6 +29,21 @@ struct Stats {
   std::uint64_t htm_syscall_aborts = 0;
   std::uint64_t htm_chaos_aborts = 0;  // injected asynchronous aborts
   std::uint64_t handlers_run = 0;      // onCommit handlers executed
+
+  // Fast-path instrumentation (log index, wake batching).
+  std::uint64_t log_index_rehashes = 0;  // redo/lock index growth events
+  std::uint64_t handlers_registered = 0; // deferred onCommit handler allocs
+  std::uint64_t deferred_wakes = 0;      // semaphores queued in a wake batch
+  std::uint64_t wake_batches = 0;        // wake-batch flushes at commit
+
+  // Read-set dedup hit rate over all logged-or-coalesced reads (0 when no
+  // instrumented reads ran).
+  [[nodiscard]] double dedup_hit_rate() const noexcept {
+    const std::uint64_t total = read_dedup_hits + read_dedup_appends;
+    return total ? static_cast<double>(read_dedup_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
 
   Stats& operator+=(const Stats& o) noexcept;
   [[nodiscard]] std::string to_string() const;
