@@ -5,7 +5,9 @@
 // Default mode runs the google-benchmark suite (read/dedup counters attached
 // to the read-shaped benchmarks).  `--json` instead runs the read-heavy
 // 8-thread workload standalone and writes BENCH_micro_tm.json (ops/sec,
-// abort rate, dedup hit rate) for the CI perf-smoke artifact.
+// abort/commit ratio, dedup hit rate) for the CI perf-smoke artifact, plus a
+// BENCH_micro_tm.metrics.json observability-registry sibling (+ .prom) with
+// txn-duration percentiles from one extra unmeasured timed rep.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -16,11 +18,23 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tm/api.h"
 #include "tm/var.h"
 #include "util/timing.h"
 
 namespace {
+
+// BENCH_foo.json -> BENCH_foo.metrics.json (registry snapshot sibling).
+std::string metrics_path_for(const char* out_path) {
+  std::string p(out_path);
+  const std::string suffix = ".json";
+  if (p.size() > suffix.size() &&
+      p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
+    p.resize(p.size() - suffix.size());
+  return p + ".metrics.json";
+}
 
 using namespace tmcv::tm;
 
@@ -236,6 +250,12 @@ int run_json_mode(const char* out_path) {
   const Stats st = stats_snapshot();
   const double attempts =
       static_cast<double>(st.commits) + static_cast<double>(st.aborts);
+  // One extra (unmeasured) rep with latency timing on, so the metrics
+  // snapshot carries txn-duration percentiles without perturbing the
+  // throughput reps above.
+  tmcv::obs::set_timing_enabled(true);
+  run_read_heavy_once(s, kThreads, kTxnsPerThread);
+  tmcv::obs::set_timing_enabled(false);
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::perror("fopen");
@@ -252,7 +272,10 @@ int run_json_mode(const char* out_path) {
                "  \"reps\": %d,\n"
                "  \"ops_per_sec\": %.0f,\n"
                "  \"abort_rate\": %.6f,\n"
+               "  \"abort_commit_ratio\": %.6f,\n"
                "  \"dedup_hit_rate\": %.6f,\n"
+               "  \"commits\": %llu,\n"
+               "  \"aborts\": %llu,\n"
                "  \"reads\": %llu,\n"
                "  \"read_set_appends\": %llu,\n"
                "  \"extensions\": %llu\n"
@@ -260,12 +283,21 @@ int run_json_mode(const char* out_path) {
                kThreads, kTxnsPerThread, 2 * kRhScan + kRhWrites, kRhWrites,
                kReps, best,
                attempts ? static_cast<double>(st.aborts) / attempts : 0.0,
-               st.dedup_hit_rate(), (unsigned long long)st.reads,
+               st.commits ? static_cast<double>(st.aborts) /
+                                static_cast<double>(st.commits)
+                          : 0.0,
+               st.dedup_hit_rate(), (unsigned long long)st.commits,
+               (unsigned long long)st.aborts, (unsigned long long)st.reads,
                (unsigned long long)st.read_dedup_appends,
                (unsigned long long)st.extensions);
   std::fclose(f);
-  std::printf("wrote %s (ops/sec=%.0f, dedup_hit_rate=%.3f)\n", out_path, best,
-              st.dedup_hit_rate());
+  const std::string mpath = metrics_path_for(out_path);
+  if (!tmcv::obs::write_metrics_files(tmcv::obs::metrics_snapshot(), mpath)) {
+    std::perror("write_metrics_files");
+    return 1;
+  }
+  std::printf("wrote %s (ops/sec=%.0f, dedup_hit_rate=%.3f) and %s\n",
+              out_path, best, st.dedup_hit_rate(), mpath.c_str());
   return 0;
 }
 

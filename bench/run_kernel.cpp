@@ -3,7 +3,12 @@
 //
 //   run_kernel <kernel> [--system pthread|tmcv|tm] [--threads N]
 //              [--backend eager|lazy|htm|hybrid] [--scale X] [--trials N]
+//              [--trace out.json] [--metrics out.json]
 //   run_kernel --list
+//
+// --trace writes a Chrome trace-event JSON (open in Perfetto) of condvar,
+// transaction and semaphore events; --metrics writes the unified metrics
+// registry snapshot as JSON plus a Prometheus-text sibling (<path>.prom).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,7 +25,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <kernel> [--system pthread|tmcv|tm] [--threads N]\n"
                "          [--backend eager|lazy|htm|hybrid] [--scale X]\n"
-               "          [--trials N]\n"
+               "          [--trials N] [--trace out.json] [--metrics out.json]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
   parsec::System system = parsec::System::Pthread;
   tm::Backend backend = tm::Backend::EagerSTM;
   parsec::KernelConfig cfg;
+  parsec::ObsOutputs obs_out;
   int trials = 3;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -83,6 +89,10 @@ int main(int argc, char** argv) {
       cfg.scale = std::atof(next());
     } else if (arg == "--trials") {
       trials = std::atoi(next());
+    } else if (arg == "--trace") {
+      obs_out.trace_path = next();
+    } else if (arg == "--metrics") {
+      obs_out.metrics_path = next();
     } else {
       return usage(argv[0]);
     }
@@ -90,6 +100,7 @@ int main(int argc, char** argv) {
 
   tm::set_default_backend(backend);
   tm::stats_reset();
+  obs_out.enable();
   std::printf("%s / %s / backend=%s / threads=%d / scale=%.2f\n",
               kernel->name.c_str(), parsec::to_string(system),
               tm::to_string(backend), cfg.threads, cfg.scale);
@@ -104,6 +115,15 @@ int main(int argc, char** argv) {
               s.mean, s.stddev, trials,
               static_cast<unsigned long long>(checksum));
   std::printf("tm:   %s\n", tm::stats_snapshot().to_string().c_str());
+  if (obs_out.any() && !obs_out.write()) {
+    std::fprintf(stderr, "failed to write observability outputs\n");
+    return 1;
+  }
+  if (!obs_out.trace_path.empty())
+    std::printf("trace:   %s (load in Perfetto / chrome://tracing)\n",
+                obs_out.trace_path.c_str());
+  if (!obs_out.metrics_path.empty())
+    std::printf("metrics: %s (+ .prom)\n", obs_out.metrics_path.c_str());
   tm::set_default_backend(tm::Backend::EagerSTM);
   return 0;
 }

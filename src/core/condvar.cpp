@@ -1,5 +1,7 @@
 #include "core/condvar.h"
 
+#include <algorithm>
+#include <mutex>
 #include <vector>
 
 namespace tmcv {
@@ -12,6 +14,58 @@ WaitNode& my_wait_node() noexcept {
 }
 
 }  // namespace detail
+
+namespace {
+
+// Tracks every live CondVar and accumulates the counters of destroyed ones,
+// so condvar_stats_aggregate() sees a complete, never-double-counted view.
+// Function-local static: constructed before the first CondVar finishes its
+// constructor, hence destroyed after the last one (including globals).
+struct CvRegistry {
+  std::mutex mu;
+  std::vector<const CondVar*> live;
+  CondVarStats retired;
+};
+
+CvRegistry& cv_registry() {
+  static CvRegistry r;
+  return r;
+}
+
+#if TMCV_TRACE
+// Stamp the victim inside the queue transaction, right before its deferred
+// wake: a stamp from an aborted transaction is harmless (the node's next
+// wait clears it; a re-executed notify overwrites it).
+inline void stamp_victim(detail::WaitNode* victim) noexcept {
+  obs::stamp_notify(victim->notify_ticks);
+}
+#else
+inline void stamp_victim(detail::WaitNode*) noexcept {}
+#endif
+
+}  // namespace
+
+void CondVar::register_self() {
+  CvRegistry& r = cv_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.live.push_back(this);
+}
+
+void CondVar::unregister_self() noexcept {
+  CvRegistry& r = cv_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired += stats();
+  r.live.erase(std::remove(r.live.begin(), r.live.end(), this),
+               r.live.end());
+}
+
+CondVarStats condvar_stats_aggregate() {
+  CvRegistry& r = cv_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  CondVarStats s = r.retired;
+  for (const CondVar* cv : r.live) s += cv->stats();
+  return s;
+}
 
 void CondVar::enqueue_self(detail::WaitNode& node) {
   tm::atomically([&] {
@@ -81,6 +135,7 @@ bool CondVar::notify_one() {
     // wake batch replaces the per-victim onCommit closure: zero handler
     // allocations, and an abort discards the batch so no wake-up escapes
     // (§3.2).
+    stamp_victim(victim);
     tm::defer_wake(&victim->sem);
     notified = true;
   });
@@ -106,6 +161,7 @@ std::size_t CondVar::notify_all() {
     while (sn != nullptr) {
       detail::WaitNode* node = sn;
       sn = sn->next.load();
+      stamp_victim(node);
       tm::defer_wake(&node->sem);
       ++count;
     }
@@ -125,6 +181,7 @@ std::size_t CondVar::notify_n(std::size_t n) {
         detail::WaitNode* victim = head_.load();
         if (victim == nullptr) break;
         unlink(nullptr, victim);
+        stamp_victim(victim);
         tm::defer_wake(&victim->sem);
         ++count;
       }
@@ -150,7 +207,10 @@ std::size_t CondVar::notify_n(std::size_t n) {
     if (len == 0) return;
     if (len <= n) {
       // Everyone goes: drain the whole queue, most recent first.
-      for (std::size_t p = len; p > 0; --p) tm::defer_wake(&ring[p - 1]->sem);
+      for (std::size_t p = len; p > 0; --p) {
+        stamp_victim(ring[p - 1]);
+        tm::defer_wake(&ring[p - 1]->sem);
+      }
       head_.store(nullptr);
       tail_.store(nullptr);
       size_.store(0);
@@ -160,8 +220,10 @@ std::size_t CondVar::notify_n(std::size_t n) {
     // The ring holds positions len-n-1 .. len-1: the new tail followed by
     // the n victims.  Cut the suffix and wake it, most recent first.
     detail::WaitNode* boundary = ring[(len - n - 1) % cap];
-    for (std::size_t p = len; p > len - n; --p)
+    for (std::size_t p = len; p > len - n; --p) {
+      stamp_victim(ring[(p - 1) % cap]);
       tm::defer_wake(&ring[(p - 1) % cap]->sem);
+    }
     boundary->next.store(nullptr);
     tail_.store(boundary);
     size_.store(len - n);

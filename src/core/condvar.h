@@ -17,10 +17,12 @@
 //     semaphore's token makes a post that lands between them stick.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <utility>
 
+#include "obs/hooks.h"
 #include "sync/semaphore.h"
 #include "sync/sync_context.h"
 #include "tm/api.h"
@@ -37,9 +39,17 @@ enum class WakePolicy : std::uint8_t { FIFO, LIFO };
 
 // Per-condvar observability counters.  Maintained with relaxed atomics
 // *outside* the queue transactions (a counter inside the transaction would
-// manufacture conflicts between otherwise-disjoint operations), so values
-// are monotonic and eventually consistent rather than a linearizable
-// snapshot -- the standard design for hot-path metrics.
+// manufacture conflicts between otherwise-disjoint operations).
+//
+// Consistency model: CondVar::stats() reads each counter with its own
+// relaxed load -- a field-by-field copy, never a struct assignment over the
+// atomics.  Every individual field is therefore an exact monotonic count at
+// some moment during the call, but the fields are not sampled at a single
+// instant: a snapshot taken while threads are active may, e.g., show a
+// notify whose matching wait has not incremented yet.  Cross-field
+// invariants (waits <= threads_woken + timeouts in flight) only hold at
+// quiescence.  This is the standard contract for hot-path metrics; callers
+// needing an exact aggregate must quiesce first.
 struct CondVarStats {
   std::uint64_t waits = 0;          // completed waits (all flavours)
   std::uint64_t timed_waits = 0;    // wait_for calls
@@ -49,7 +59,41 @@ struct CondVarStats {
   std::uint64_t notify_best_calls = 0;
   std::uint64_t threads_woken = 0;  // waiters selected across all notifies
   std::uint64_t lost_notifies = 0;  // notifies that found an empty queue
+
+  // Visit every counter as (name, member pointer): single source of truth
+  // for the arithmetic below and the metrics exporters.
+  template <typename Fn>
+  static constexpr void for_each_field(Fn&& fn) {
+    fn("waits", &CondVarStats::waits);
+    fn("timed_waits", &CondVarStats::timed_waits);
+    fn("timeouts", &CondVarStats::timeouts);
+    fn("notify_one_calls", &CondVarStats::notify_one_calls);
+    fn("notify_all_calls", &CondVarStats::notify_all_calls);
+    fn("notify_best_calls", &CondVarStats::notify_best_calls);
+    fn("threads_woken", &CondVarStats::threads_woken);
+    fn("lost_notifies", &CondVarStats::lost_notifies);
+  }
+
+  CondVarStats& operator+=(const CondVarStats& o) noexcept {
+    for_each_field([&](const char*, std::uint64_t CondVarStats::*f) {
+      this->*f += o.*f;
+    });
+    return *this;
+  }
+
+  // Delta against an earlier snapshot of the same counters.
+  CondVarStats& operator-=(const CondVarStats& o) noexcept {
+    for_each_field([&](const char*, std::uint64_t CondVarStats::*f) {
+      this->*f -= o.*f;
+    });
+    return *this;
+  }
 };
+
+// Fold the counters of every live condition variable plus every destroyed
+// one (folded at destruction under the same mutex, so nothing is counted
+// twice or lost).  Per-field consistency model as documented above.
+[[nodiscard]] CondVarStats condvar_stats_aggregate();
 
 namespace detail {
 
@@ -62,6 +106,10 @@ struct WaitNode {
   tm::var<WaitNode*> next{nullptr};
   tm::var<std::uint64_t> tag{0};  // notify_best discriminator
   bool enqueued = false;          // owner-only sanity flag
+  // Notify->wake latency stamp: written by the notifier when it selects
+  // this node, consumed by the owner after the semaphore wait.  A stamp
+  // from an aborted selection is overwritten or cleared at the next wait.
+  std::atomic<std::uint64_t> notify_ticks{0};
 };
 
 WaitNode& my_wait_node() noexcept;
@@ -70,8 +118,9 @@ WaitNode& my_wait_node() noexcept;
 
 class CondVar {
  public:
-  explicit CondVar(WakePolicy policy = WakePolicy::FIFO) noexcept
-      : policy_(policy) {}
+  explicit CondVar(WakePolicy policy = WakePolicy::FIFO) : policy_(policy) {
+    register_self();
+  }
 
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
@@ -79,6 +128,7 @@ class CondVar {
   ~CondVar() {
     TMCV_ASSERT_MSG(head_.load_plain() == nullptr,
                     "condition variable destroyed with waiting threads");
+    unregister_self();  // folds this object's counters into the aggregate
   }
 
   // ---- WAIT, continuation-passing style (Algorithm 4) ----
@@ -90,12 +140,12 @@ class CondVar {
   template <typename Cont>
   void wait(SyncContext& sync, Cont&& cont, std::uint64_t tag = 0) {
     detail::WaitNode& node = prepare_node(tag);
+    const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
     sync.end_block();            // line 9: break atomicity
     tm::syscall_fence();         // sleeping would abort a hardware txn
     node.sem.wait();             // line 10: block until notified
-    node.enqueued = false;
-    waits_.fetch_add(1, std::memory_order_relaxed);
+    finish_wait(node, t0);
     run_continuation(sync, std::forward<Cont>(cont));
   }
 
@@ -107,12 +157,12 @@ class CondVar {
   // conflict-abort after WAIT must not re-run the first half.
   void wait(SyncContext& sync, std::uint64_t tag = 0) {
     detail::WaitNode& node = prepare_node(tag);
+    const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
     sync.end_block();
     tm::syscall_fence();
     node.sem.wait();
-    node.enqueued = false;
-    waits_.fetch_add(1, std::memory_order_relaxed);
+    finish_wait(node, t0);
     sync.begin_block();          // line 11: re-lock / begin continuation txn
   }
 
@@ -134,6 +184,7 @@ class CondVar {
         std::chrono::duration_cast<std::chrono::nanoseconds>(timeout)
             .count());
     detail::WaitNode& node = prepare_node(tag);
+    const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
     sync.end_block();
     tm::syscall_fence();
@@ -145,11 +196,12 @@ class CondVar {
       node.sem.wait();
       notified = true;
     }
-    node.enqueued = false;
-    if (notified)
-      waits_.fetch_add(1, std::memory_order_relaxed);
-    else
+    if (notified) {
+      finish_wait(node, t0);
+    } else {
+      node.enqueued = false;
       timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
     sync.begin_block();
     return notified;
   }
@@ -160,12 +212,12 @@ class CondVar {
   // The caller must not touch shared state after the call.
   void wait_final(SyncContext& sync, std::uint64_t tag = 0) {
     detail::WaitNode& node = prepare_node(tag);
+    const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
     sync.end_block();
     tm::syscall_fence();
     node.sem.wait();
-    node.enqueued = false;
-    waits_.fetch_add(1, std::memory_order_relaxed);
+    finish_wait(node, t0);
     if (sync.is_transactional()) tm::descriptor().mark_split_done();
   }
 
@@ -179,11 +231,11 @@ class CondVar {
     TMCV_ASSERT_MSG(tm::in_txn(),
                     "wait_at_commit requires a transactional context");
     detail::WaitNode& node = prepare_node(tag);
+    const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
-    tm::on_commit([this, &node] {
+    tm::on_commit([this, &node, t0] {
       node.sem.wait();
-      node.enqueued = false;
-      waits_.fetch_add(1, std::memory_order_relaxed);
+      finish_wait(node, t0);
     });
     // If the transaction aborts, the enqueue rolls back and a stale node
     // must not linger flagged.
@@ -239,6 +291,9 @@ class CondVar {
       }
       if (best == nullptr) return;
       unlink(best_prev, best);
+#if TMCV_TRACE
+      obs::stamp_notify(best->notify_ticks);
+#endif
       tm::defer_wake(&best->sem);
       notified = true;
     });
@@ -251,7 +306,11 @@ class CondVar {
 
   [[nodiscard]] WakePolicy policy() const noexcept { return policy_; }
 
-  // Snapshot of the observability counters (see CondVarStats).
+  // Snapshot of the observability counters.  Deliberately a field-by-field
+  // copy (one relaxed load per counter), never a struct assignment over the
+  // atomics: each field is individually exact, the set of fields is not
+  // sampled atomically.  See the CondVarStats comment for the full
+  // consistency model.
   [[nodiscard]] CondVarStats stats() const noexcept {
     CondVarStats s;
     s.waits = waits_.load(std::memory_order_relaxed);
@@ -267,10 +326,40 @@ class CondVar {
   }
 
  private:
+  // Aggregate-registry membership (condvar.cpp): the ctor registers, the
+  // dtor folds this object's counters into the retired accumulator.
+  void register_self();
+  void unregister_self() noexcept;
+
+  // Timestamp for the enqueue->wake latency region; 0 when observability is
+  // compiled out or disabled at runtime.
+  [[nodiscard]] static std::uint64_t wait_begin_ticks() noexcept {
+#if TMCV_TRACE
+    return obs::region_begin();
+#else
+    return 0;
+#endif
+  }
+
+  // Post-wake bookkeeping shared by every wait flavour.
+  void finish_wait(detail::WaitNode& node, std::uint64_t t0) noexcept {
+    node.enqueued = false;
+    waits_.fetch_add(1, std::memory_order_relaxed);
+#if TMCV_TRACE
+    obs::region_end(obs::Event::kCvWait, t0, &obs::hist_cv_wait());
+    obs::consume_notify_stamp(node.notify_ticks);
+#else
+    (void)t0;
+#endif
+  }
+
   detail::WaitNode& prepare_node(std::uint64_t tag) {
     detail::WaitNode& node = detail::my_wait_node();
     TMCV_ASSERT_MSG(!node.enqueued, "thread is already waiting on a condvar");
     node.enqueued = true;
+#if TMCV_TRACE
+    node.notify_ticks.store(0, std::memory_order_relaxed);
+#endif
     // Inside an ambient transaction, the enqueue (or the early commit that
     // follows it) can abort and re-run the whole closure including this
     // call; the rollback must clear the owner flag along with the queue
@@ -317,6 +406,11 @@ class CondVar {
       lost_notifies_.fetch_add(1, std::memory_order_relaxed);
     else
       threads_woken_.fetch_add(woken, std::memory_order_relaxed);
+#if TMCV_TRACE
+    obs::emit_instant(obs::Event::kCvNotify,
+                      static_cast<std::uint16_t>(
+                          woken > 0xffff ? 0xffff : woken));
+#endif
   }
 
   tm::var<detail::WaitNode*> head_{nullptr};

@@ -1,0 +1,202 @@
+// Log-bucketed latency histograms (HDR-style): power-of-two major buckets
+// subdivided into 16 linear sub-buckets, giving a guaranteed relative
+// resolution of 1/16 (6.25%) across the full clamped nanosecond range in
+// 944 buckets (7.4 KiB).
+//
+// Recording is a relaxed atomic increment on one bucket plus count/sum --
+// wait-free, mergeable across threads, and safe to read concurrently (the
+// reader sees some interleaving of increments; exact at quiescence, the
+// standard contract for hot-path metrics).  `snapshot()` produces a plain
+// HistogramSnapshot that supports +=, -= (delta between two snapshots) and
+// percentile queries.
+//
+// Percentile semantics: percentile(q) returns the LOWER BOUND of the bucket
+// containing the value of rank ceil(q * count).  The true recorded value v
+// satisfies  result <= v < result * (1 + 1/16)  (exact below 16 ns).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace tmcv::obs {
+
+namespace hist_detail {
+
+inline constexpr int kSubBits = 4;                    // 16 sub-buckets
+inline constexpr std::size_t kSub = 1u << kSubBits;   // per major bucket
+
+// Values above this are clamped into the last bucket (≈ 146 years in ns).
+inline constexpr std::uint64_t kClamp = (1ull << 62) - 1;
+
+// Exactly the reachable index range: kClamp has bit_width 62, so the top
+// group is 62-kSubBits = 58 and the top index is 58*16 + 15 = 943.
+inline constexpr std::size_t kBuckets = 59 * kSub;    // 944
+
+[[nodiscard]] constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  if (v > kClamp) v = kClamp;
+  const int e = std::bit_width(v) - 1;           // 4 <= e <= 61
+  const int g = e - kSubBits + 1;                // major group, >= 1
+  const auto sub = static_cast<std::size_t>((v >> (e - kSubBits)) &
+                                            (kSub - 1));
+  return static_cast<std::size_t>(g) * kSub + sub;
+}
+
+// Smallest value mapping to bucket `idx`.
+[[nodiscard]] constexpr std::uint64_t bucket_lower_bound(
+    std::size_t idx) noexcept {
+  if (idx < kSub) return idx;
+  const std::size_t g = idx >> kSubBits;
+  const std::uint64_t sub = idx & (kSub - 1);
+  return (kSub + sub) << (g - 1);
+}
+
+// Width of bucket `idx` (== the absolute resolution at that magnitude).
+[[nodiscard]] constexpr std::uint64_t bucket_width(std::size_t idx) noexcept {
+  return idx < kSub ? 1 : 1ull << ((idx >> kSubBits) - 1);
+}
+
+}  // namespace hist_detail
+
+// Plain (non-atomic) histogram contents: the snapshot/delta/query type.
+struct HistogramSnapshot {
+  std::uint64_t buckets[hist_detail::kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept {
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
+      buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    return *this;
+  }
+
+  // Delta against an earlier snapshot of the same histogram.
+  HistogramSnapshot& operator-=(const HistogramSnapshot& o) noexcept {
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
+      buckets[i] -= o.buckets[i];
+    count -= o.count;
+    sum -= o.sum;
+    return *this;
+  }
+
+  [[nodiscard]] bool operator==(const HistogramSnapshot& o) const noexcept {
+    if (count != o.count || sum != o.sum) return false;
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
+      if (buckets[i] != o.buckets[i]) return false;
+    return true;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count)
+                 : 0.0;
+  }
+
+  // Lower bound of the bucket holding the rank-ceil(q*count) value; 0 when
+  // empty.  q in [0, 1].
+  [[nodiscard]] std::uint64_t percentile(double q) const noexcept {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= rank) return hist_detail::bucket_lower_bound(i);
+    }
+    return hist_detail::bucket_lower_bound(hist_detail::kBuckets - 1);
+  }
+
+  // Lower bound of the highest populated bucket (approximate max); 0 when
+  // empty.
+  [[nodiscard]] std::uint64_t max_observed() const noexcept {
+    for (std::size_t i = hist_detail::kBuckets; i > 0; --i)
+      if (buckets[i - 1] != 0)
+        return hist_detail::bucket_lower_bound(i - 1);
+    return 0;
+  }
+};
+
+inline HistogramSnapshot operator+(HistogramSnapshot a,
+                                   const HistogramSnapshot& b) noexcept {
+  a += b;
+  return a;
+}
+
+inline HistogramSnapshot operator-(HistogramSnapshot a,
+                                   const HistogramSnapshot& b) noexcept {
+  a -= b;
+  return a;
+}
+
+// The live, concurrently-writable histogram.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    buckets_[hist_detail::bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[hist_detail::kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// The process-wide latency histograms (all in nanoseconds).
+//
+// Inline globals so tm/core/sync record into them without linking tmcv_obs;
+// the metrics registry snapshots them by name.  Recording only happens under
+// obs::timing_enabled() (plus the TMCV_TRACE compile gate at call sites).
+// ---------------------------------------------------------------------------
+
+inline LatencyHistogram& hist_cv_wait() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
+inline LatencyHistogram& hist_notify_wake() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
+inline LatencyHistogram& hist_txn_commit() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
+inline LatencyHistogram& hist_txn_abort() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
+inline LatencyHistogram& hist_serial_stall() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
+
+}  // namespace tmcv::obs

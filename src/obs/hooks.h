@@ -1,0 +1,56 @@
+// Combined trace + histogram emission helpers: what the instrumented call
+// sites in tm/, core/ and sync/ actually invoke (always wrapped in
+// `#if TMCV_TRACE` so a disabled build compiles them away entirely).
+//
+// Usage pattern:
+//
+//   const std::uint64_t t0 = obs::region_begin();   // 0 when obs is off
+//   ...work...
+//   obs::region_end(obs::Event::kTxnCommit, t0, &obs::hist_txn_commit());
+//
+// With hooks compiled in but the runtime flags clear, region_begin is one
+// relaxed load + branch and region_end one load + two branches.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace tmcv::obs {
+
+// Close a region opened by region_begin(): emit the trace record (when
+// capture is on) and feed the nanosecond duration to `hist` (when timing is
+// on).  Safe with t0 == 0 (obs was off at region entry).
+inline void region_end(Event type, std::uint64_t t0, LatencyHistogram* hist,
+                       std::uint16_t arg = 0) noexcept {
+  const std::uint32_t f = flags();
+  if (f == 0 || t0 == 0) return;
+  const std::uint64_t now = TscClock::now();
+  const std::uint64_t dur = now > t0 ? now - t0 : 0;
+  if (f & kTraceBit) detail::my_ring().push(type, t0, dur, arg);
+  if (hist != nullptr && (f & kTimingBit))
+    hist->record(TscClock::to_ns(dur));
+}
+
+// Notify→wake latency plumbing: the notifier stamps the victim's slot when
+// it selects it (inside the queue transaction -- a stamp from an aborted
+// selection is simply overwritten by the next one), and the woken waiter
+// consumes the stamp.  The slot always ends cleared, so a stamp can never
+// leak into an unrelated later wait.
+inline void stamp_notify(std::atomic<std::uint64_t>& slot) noexcept {
+  if (flags() != 0) slot.store(TscClock::now(), std::memory_order_relaxed);
+}
+
+inline void consume_notify_stamp(std::atomic<std::uint64_t>& slot) noexcept {
+  if (slot.load(std::memory_order_relaxed) == 0) return;
+  const std::uint64_t t = slot.exchange(0, std::memory_order_relaxed);
+  const std::uint32_t f = flags();
+  if (f == 0 || t == 0) return;
+  const std::uint64_t now = TscClock::now();
+  if ((f & kTimingBit) && now > t)
+    hist_notify_wake().record(TscClock::to_ns(now - t));
+}
+
+}  // namespace tmcv::obs

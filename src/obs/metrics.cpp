@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace tmcv::obs {
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot s;
+  s.tm = tm::stats_snapshot();
+  s.cv = condvar_stats_aggregate();
+  const TraceCounts tc = trace_counts();
+  s.trace_events = tc.recorded;
+  s.trace_dropped = tc.dropped;
+  s.cv_wait_ns = hist_cv_wait().snapshot();
+  s.notify_wake_ns = hist_notify_wake().snapshot();
+  s.txn_commit_ns = hist_txn_commit().snapshot();
+  s.txn_abort_ns = hist_txn_abort().snapshot();
+  s.serial_stall_ns = hist_serial_stall().snapshot();
+  return s;
+}
+
+MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
+                              const MetricsSnapshot& before) {
+  MetricsSnapshot d = now;
+  d.tm -= before.tm;
+  d.cv -= before.cv;
+  d.trace_events -= before.trace_events;
+  d.trace_dropped -= before.trace_dropped;
+  d.cv_wait_ns -= before.cv_wait_ns;
+  d.notify_wake_ns -= before.notify_wake_ns;
+  d.txn_commit_ns -= before.txn_commit_ns;
+  d.txn_abort_ns -= before.txn_abort_ns;
+  d.serial_stall_ns -= before.serial_stall_ns;
+  return d;
+}
+
+namespace {
+
+struct NamedHist {
+  const char* name;
+  const HistogramSnapshot* hist;
+};
+
+// The five histograms by export name, in a stable order.
+void for_each_hist(const MetricsSnapshot& s,
+                   const std::function<void(const NamedHist&)>& fn) {
+  fn({"cv_wait_ns", &s.cv_wait_ns});
+  fn({"notify_wake_ns", &s.notify_wake_ns});
+  fn({"txn_commit_ns", &s.txn_commit_ns});
+  fn({"txn_abort_ns", &s.txn_abort_ns});
+  fn({"serial_stall_ns", &s.serial_stall_ns});
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\n  \"tm\": {\n";
+  bool first = true;
+  tm::Stats::for_each_field([&](const char* name,
+                                std::uint64_t tm::Stats::*field) {
+    os << (first ? "" : ",\n") << "    \"" << name << "\": " << s.tm.*field;
+    first = false;
+  });
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", s.tm.dedup_hit_rate());
+  os << ",\n    \"dedup_hit_rate\": " << buf;
+  const double attempts = static_cast<double>(s.tm.commits) +
+                          static_cast<double>(s.tm.aborts);
+  std::snprintf(buf, sizeof buf, "%.6f",
+                attempts ? static_cast<double>(s.tm.aborts) / attempts : 0.0);
+  os << ",\n    \"abort_rate\": " << buf << "\n  },\n  \"condvar\": {\n";
+  first = true;
+  CondVarStats::for_each_field([&](const char* name,
+                                   std::uint64_t CondVarStats::*field) {
+    os << (first ? "" : ",\n") << "    \"" << name << "\": " << s.cv.*field;
+    first = false;
+  });
+  os << "\n  },\n  \"trace\": {\n    \"events\": " << s.trace_events
+     << ",\n    \"dropped\": " << s.trace_dropped
+     << "\n  },\n  \"histograms\": {\n";
+  first = true;
+  for_each_hist(s, [&](const NamedHist& h) {
+    char mean[64];
+    std::snprintf(mean, sizeof mean, "%.1f", h.hist->mean());
+    os << (first ? "" : ",\n") << "    \"" << h.name << "\": {"
+       << "\"count\": " << h.hist->count << ", \"sum\": " << h.hist->sum
+       << ", \"mean\": " << mean << ", \"p50\": " << h.hist->percentile(0.5)
+       << ", \"p90\": " << h.hist->percentile(0.9)
+       << ", \"p99\": " << h.hist->percentile(0.99)
+       << ", \"p999\": " << h.hist->percentile(0.999)
+       << ", \"max\": " << h.hist->max_observed() << "}";
+    first = false;
+  });
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& s) {
+  std::ostringstream os;
+  tm::Stats::for_each_field([&](const char* name,
+                                std::uint64_t tm::Stats::*field) {
+    os << "# TYPE tmcv_tm_" << name << "_total counter\n"
+       << "tmcv_tm_" << name << "_total " << s.tm.*field << "\n";
+  });
+  CondVarStats::for_each_field([&](const char* name,
+                                   std::uint64_t CondVarStats::*field) {
+    os << "# TYPE tmcv_cv_" << name << "_total counter\n"
+       << "tmcv_cv_" << name << "_total " << s.cv.*field << "\n";
+  });
+  os << "# TYPE tmcv_trace_events gauge\ntmcv_trace_events "
+     << s.trace_events << "\n"
+     << "# TYPE tmcv_trace_dropped_total counter\ntmcv_trace_dropped_total "
+     << s.trace_dropped << "\n";
+  for_each_hist(s, [&](const NamedHist& h) {
+    os << "# TYPE tmcv_" << h.name << " summary\n";
+    static constexpr std::pair<double, const char*> kQuantiles[] = {
+        {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}};
+    for (const auto& [q, label] : kQuantiles) {
+      os << "tmcv_" << h.name << "{quantile=\"" << label << "\"} "
+         << h.hist->percentile(q) << "\n";
+    }
+    os << "tmcv_" << h.name << "_sum " << h.hist->sum << "\n"
+       << "tmcv_" << h.name << "_count " << h.hist->count << "\n";
+  });
+  return os.str();
+}
+
+bool write_metrics_files(const MetricsSnapshot& s,
+                         const std::string& json_path) {
+  const auto write = [](const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fputs(text.c_str(), f) >= 0;
+    return std::fclose(f) == 0 && ok;
+  };
+  return write(json_path, to_json(s)) &&
+         write(json_path + ".prom", to_prometheus(s));
+}
+
+}  // namespace tmcv::obs

@@ -1,0 +1,77 @@
+// Metrics registry: one snapshot/delta API over every counter and histogram
+// the runtime maintains -- the TM statistics (tm::Stats), the aggregated
+// condition-variable counters (CondVarStats), the latency histograms, and
+// the tracer's capture totals -- with JSON and Prometheus text exporters.
+//
+// Consistency model: a snapshot folds per-thread / per-object counters that
+// are maintained with relaxed (or plain, for TM descriptors) increments.
+// Values are therefore monotonic and *eventually consistent*: exact once
+// the measured threads are quiescent, approximate while they run.  What IS
+// guaranteed even under concurrency (since the registry routed the
+// thread-exit fold through a mutex) is that no thread's counters are ever
+// double-counted or lost while it migrates from the live set to the retired
+// accumulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/condvar.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "tm/stats.h"
+
+namespace tmcv::obs {
+
+struct MetricsSnapshot {
+  tm::Stats tm;        // folded over live + retired TM threads
+  CondVarStats cv;     // folded over live + destroyed condition variables
+  std::uint64_t trace_events = 0;   // records retained across all rings
+  std::uint64_t trace_dropped = 0;  // records lost to ring wraparound
+
+  HistogramSnapshot cv_wait_ns;       // condvar enqueue -> wakeup
+  HistogramSnapshot notify_wake_ns;   // notify selection -> waiter running
+  HistogramSnapshot txn_commit_ns;    // begin -> successful outermost commit
+  HistogramSnapshot txn_abort_ns;     // begin -> abort (any reason)
+  HistogramSnapshot serial_stall_ns;  // serial-fallback lock-acquire stall
+};
+
+// Capture everything now.
+[[nodiscard]] MetricsSnapshot metrics_snapshot();
+
+// Element-wise `now - before`: activity between two snapshots.
+[[nodiscard]] MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
+                                            const MetricsSnapshot& before);
+
+// Exporters.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& s);
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& s);
+
+// Write the snapshot as JSON to `json_path` and as Prometheus text to
+// `json_path` + ".prom".  Returns false (with errno intact) on I/O failure.
+bool write_metrics_files(const MetricsSnapshot& s,
+                         const std::string& json_path);
+
+// ---------------------------------------------------------------------------
+// Chrome trace serialization (capture side lives in obs/trace.h)
+// ---------------------------------------------------------------------------
+
+// A ring record tagged with its owner thread's trace id.
+struct TaggedEvent {
+  TraceEvent event;
+  std::uint32_t tid;
+};
+
+// Merge the retained events of every ring (exited threads included),
+// sorted by raw timestamp.  Call at quiescence.
+[[nodiscard]] std::vector<TaggedEvent> collect_trace_sorted();
+
+// Serialize every ring to Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing): {"traceEvents": [...], "displayTimeUnit": "ns"}.
+// Events are merged across threads and sorted by timestamp; timestamps are
+// microseconds relative to the earliest captured event.  Call at
+// quiescence.  Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace tmcv::obs

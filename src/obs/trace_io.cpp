@@ -1,0 +1,64 @@
+// Chrome trace-event serialization: merge every thread's ring, sort by
+// timestamp, and emit the JSON schema Perfetto / chrome://tracing load.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tmcv::obs {
+
+std::vector<TaggedEvent> collect_trace_sorted() {
+  std::vector<TaggedEvent> all;
+  std::vector<TraceEvent> scratch;
+  for_each_ring([&](const TraceRing& r) {
+    scratch.clear();
+    r.snapshot(scratch);
+    for (const TraceEvent& e : scratch) all.push_back({e, r.tid()});
+  });
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TaggedEvent& a, const TaggedEvent& b) {
+                     return a.event.ts < b.event.ts;
+                   });
+  return all;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::vector<TaggedEvent> all = collect_trace_sorted();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  const double ns_per_tick = TscClock::ns_per_tick();
+  const std::uint64_t t0 = all.empty() ? 0 : all.front().event.ts;
+  bool ok = std::fputs("{\"traceEvents\":[", f) >= 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const TraceEvent& e = all[i].event;
+    const auto type = static_cast<Event>(e.type);
+    const double ts_us = static_cast<double>(e.ts - t0) * ns_per_tick / 1e3;
+    if (i != 0) ok = ok && std::fputc(',', f) != EOF;
+    ok = ok && std::fputc('\n', f) != EOF;
+    if (event_has_duration(type)) {
+      const double dur_us = static_cast<double>(e.dur) * ns_per_tick / 1e3;
+      ok = ok &&
+           std::fprintf(
+               f,
+               "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+               "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
+               event_name(type), ts_us, dur_us, all[i].tid, e.arg) > 0;
+    } else {
+      ok = ok &&
+           std::fprintf(
+               f,
+               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+               "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
+               event_name(type), ts_us, all[i].tid, e.arg) > 0;
+    }
+  }
+  ok = ok && std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f) >= 0;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tmcv::obs

@@ -1,6 +1,25 @@
 #include "parsec/runner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tmcv::parsec {
+
+void ObsOutputs::enable() const {
+  // Histograms feed the metrics snapshot, so --metrics wants timing too;
+  // --trace additionally captures per-event records into the rings.
+  if (!metrics_path.empty() || !trace_path.empty())
+    obs::set_timing_enabled(true);
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
+}
+
+bool ObsOutputs::write() const {
+  bool ok = true;
+  if (!trace_path.empty()) ok = obs::write_chrome_trace(trace_path) && ok;
+  if (!metrics_path.empty())
+    ok = obs::write_metrics_files(obs::metrics_snapshot(), metrics_path) && ok;
+  return ok;
+}
 
 const char* to_string(System s) noexcept {
   switch (s) {

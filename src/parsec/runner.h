@@ -49,6 +49,23 @@ const std::vector<KernelInfo>& kernels();
 // Lookup by name (nullptr if unknown).
 const KernelInfo* find_kernel(const std::string& name);
 
+// Observability outputs for a kernel run (run_kernel's --trace/--metrics
+// flags).  enable() flips the runtime gates the requested outputs need
+// (call before the trials); write() serializes afterwards, at quiescence.
+struct ObsOutputs {
+  std::string trace_path;    // Chrome trace-event JSON; empty = no trace
+  std::string metrics_path;  // metrics JSON (+ .prom sibling); empty = none
+
+  [[nodiscard]] bool any() const noexcept {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+
+  void enable() const;
+
+  // Returns false if any requested file could not be written.
+  [[nodiscard]] bool write() const;
+};
+
 // Kernel entry points (one translation unit each).
 KernelResult run_facesim(System, const KernelConfig&);
 KernelResult run_ferret(System, const KernelConfig&);

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/hooks.h"
 #include "sync/futex.h"
 #include "util/cacheline.h"
 
@@ -39,7 +40,15 @@ class Semaphore {
                                        std::memory_order_relaxed))
         return;
     }
+    // Only the blocking path is traced: uncontended waits are the common
+    // case and would flood the ring with zero-length events.
+#if TMCV_TRACE
+    const std::uint64_t t0 = obs::region_begin();
+#endif
     wait_slow();
+#if TMCV_TRACE
+    obs::region_end(obs::Event::kSemWait, t0, nullptr);
+#endif
   }
 
   // Try to consume one token without blocking.
@@ -82,6 +91,9 @@ class Semaphore {
     count_.fetch_add(1, std::memory_order_release);
     if (waiters_.load(std::memory_order_seq_cst) > 0)
       futex_wake(&count_, 1);
+#if TMCV_TRACE
+    obs::emit_instant(obs::Event::kSemPost);
+#endif
   }
 
   // Produce `n` tokens (used by notify-all style wakeups on shared sems).
@@ -137,7 +149,13 @@ class BinarySemaphore {
     if (state_.compare_exchange_strong(one, 0, std::memory_order_acquire,
                                        std::memory_order_relaxed))
       return;
+#if TMCV_TRACE
+    const std::uint64_t t0 = obs::region_begin();
+#endif
     wait_slow();
+#if TMCV_TRACE
+    obs::region_end(obs::Event::kSemWait, t0, nullptr);
+#endif
   }
 
   [[nodiscard]] bool try_wait() noexcept {
@@ -169,6 +187,9 @@ class BinarySemaphore {
   void post() noexcept {
     if (state_.exchange(1, std::memory_order_release) == 0)
       futex_wake(&state_, 1);
+#if TMCV_TRACE
+    obs::emit_instant(obs::Event::kSemPost);
+#endif
   }
 
   // Batch-post over distinct semaphores: publish every token first, then
@@ -179,6 +200,10 @@ class BinarySemaphore {
   // same semaphore twice in a batch is safe (post is idempotent).
   static void post_batch(BinarySemaphore* const* sems,
                          std::size_t n) noexcept {
+#if TMCV_TRACE
+    obs::emit_instant(obs::Event::kSemPostBatch,
+                      static_cast<std::uint16_t>(n > 0xffff ? 0xffff : n));
+#endif
     constexpr std::size_t kChunk = 64;
     for (std::size_t base = 0; base < n; base += kChunk) {
       const std::size_t m = n - base < kChunk ? n - base : kChunk;

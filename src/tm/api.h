@@ -16,8 +16,12 @@
 // machines.  The HTM backend escalates after very few attempts, emulating
 // RTM's lock-elision fallback.
 //
-// Thread-safety note on statistics: stats_snapshot / stats_reset assume no
-// transaction is concurrently in flight (call them between benchmark phases).
+// Thread-safety note on statistics: stats_snapshot is safe to call while
+// threads run and exit -- the registry serializes thread-exit folds against
+// snapshot scans, so no thread's counters are double-counted or lost; live
+// counters are read with per-field eventual consistency.  stats_reset still
+// assumes no transaction is concurrently in flight (call it between
+// benchmark phases).
 #pragma once
 
 #include <functional>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/hooks.h"
 #include "sync/futex.h"
 #include "sync/semaphore.h"
 #include "tm/registry.h"
@@ -176,6 +177,9 @@ void TxDescriptor::begin_top(Backend b, std::uint32_t depth) {
   split_done_ = false;
   start_time_ = g_clock.now();
   new_log_epoch();
+#if TMCV_TRACE
+  txn_begin_ticks_ = obs::region_begin();
+#endif
 }
 
 void TxDescriptor::new_log_epoch() noexcept {
@@ -215,6 +219,10 @@ void TxDescriptor::commit_top() {
   depth_ = 0;
   activity_end();
   ++stats_.commits;
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kTxnCommit, txn_begin_ticks_,
+                  &obs::hist_txn_commit());
+#endif
   run_commit_handlers();
 }
 
@@ -230,6 +238,11 @@ void TxDescriptor::abort_restart(TxAbort::Reason reason) {
   depth_ = 0;
   activity_end();
   ++stats_.aborts;
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kTxnAbort, txn_begin_ticks_,
+                  &obs::hist_txn_abort(),
+                  static_cast<std::uint16_t>(reason));
+#endif
   throw TxAbort{reason};
 }
 
@@ -249,6 +262,11 @@ void TxDescriptor::retry_and_wait() {
   depth_ = 0;
   activity_end();
   ++stats_.aborts;
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kTxnAbort, txn_begin_ticks_,
+                  &obs::hist_txn_abort(),
+                  static_cast<std::uint16_t>(TxAbort::Reason::RetryWait));
+#endif
   TxAbort abort{TxAbort::Reason::RetryWait};
   abort.retry_signal = observed;
   throw abort;
@@ -258,7 +276,17 @@ void TxDescriptor::begin_serial(std::uint32_t depth) {
   TMCV_ASSERT_MSG(state_ == TxState::Idle,
                   "cannot upgrade an active optimistic transaction; declare "
                   "irrevocability at the outermost begin");
+#if TMCV_TRACE
+  // The acquire below drains every in-flight optimistic transaction: its
+  // duration is the serial-fallback stall the paper's §5 worries about.
+  const std::uint64_t stall_t0 = obs::region_begin();
+#endif
   g_serial.acquire(slot_);
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kSerialFallback, stall_t0,
+                  &obs::hist_serial_stall());
+  txn_begin_ticks_ = obs::region_begin();
+#endif
   announce_epoch();
   state_ = TxState::Serial;
   depth_ = depth;
@@ -272,6 +300,10 @@ void TxDescriptor::commit_serial() {
   g_serial.release();
   ++stats_.commits;
   ++stats_.serial_commits;
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kTxnCommit, txn_begin_ticks_,
+                  &obs::hist_txn_commit());
+#endif
   bump_commit_signal();  // serial sections may have written anything
   run_commit_handlers();
 }

@@ -438,6 +438,11 @@ class TxDescriptor {
   // Global epoch observed at the last begin (epoch reclamation).
   std::atomic<std::uint64_t> epoch_{0};
 
+  // Observability: TscClock ticks at the current attempt's begin (0 when
+  // the obs layer is off).  Consumed by the commit/abort hooks to produce
+  // txn duration histograms and trace events (src/obs).
+  std::uint64_t txn_begin_ticks_ = 0;
+
   Stats stats_;
 };
 

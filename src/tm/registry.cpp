@@ -2,7 +2,6 @@
 
 #include "tm/descriptor.h"
 #include "util/assert.h"
-#include "util/backoff.h"
 
 namespace tmcv::tm {
 
@@ -31,29 +30,32 @@ std::uint64_t Registry::register_thread(TxDescriptor* desc) noexcept {
 
 void Registry::unregister_thread(std::uint64_t slot,
                                  const Stats& stats) noexcept {
-  // Fold this thread's counters before the slot is reused.
-  Backoff backoff;
-  while (retired_lock_.exchange(true, std::memory_order_acquire))
-    backoff.wait();
+  // Fold this thread's counters and clear the slot as one atomic step with
+  // respect to snapshot_stats().  The old design released the retired lock
+  // before clearing the slot, so a snapshot running in that window counted
+  // the thread twice (once from the still-populated slot, once from the
+  // accumulator).
+  std::lock_guard<std::mutex> lock(stats_mu_);
   retired_ += stats;
-  retired_lock_.store(false, std::memory_order_release);
   slots_[slot].store(nullptr, std::memory_order_release);
 }
 
-void Registry::fold_retired(Stats& into) const noexcept {
-  Backoff backoff;
-  while (retired_lock_.exchange(true, std::memory_order_acquire))
-    backoff.wait();
+void Registry::snapshot_stats(Stats& into) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::uint64_t n = high_water();
+  for (std::uint64_t slot = 0; slot < n; ++slot) {
+    if (TxDescriptor* desc = descriptor(slot)) into += desc->stats();
+  }
   into += retired_;
-  retired_lock_.store(false, std::memory_order_release);
 }
 
-void Registry::reset_retired() noexcept {
-  Backoff backoff;
-  while (retired_lock_.exchange(true, std::memory_order_acquire))
-    backoff.wait();
+void Registry::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  const std::uint64_t n = high_water();
+  for (std::uint64_t slot = 0; slot < n; ++slot) {
+    if (TxDescriptor* desc = descriptor(slot)) desc->stats() = Stats{};
+  }
   retired_ = Stats{};
-  retired_lock_.store(false, std::memory_order_release);
 }
 
 }  // namespace tmcv::tm

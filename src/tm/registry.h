@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "tm/stats.h"
 
@@ -21,7 +22,10 @@ class Registry {
   std::uint64_t register_thread(TxDescriptor* desc) noexcept;
 
   // Release the slot and fold the thread's stats into the retired
-  // accumulator.
+  // accumulator.  The fold and the slot clear happen atomically with
+  // respect to snapshot_stats(), so a concurrent snapshot sees the thread
+  // either live (slot scan) or retired (accumulator) -- never both, never
+  // neither.
   void unregister_thread(std::uint64_t slot, const Stats& stats) noexcept;
 
   // Descriptor in a slot, or nullptr.  Safe to call concurrently with
@@ -35,16 +39,26 @@ class Registry {
     return high_water_.load(std::memory_order_acquire);
   }
 
-  // Stats support.
-  void fold_retired(Stats& into) const noexcept;
-  void reset_retired() noexcept;
+  // Fold every live descriptor's counters plus the retired accumulator
+  // into `into`, under the same mutex unregister_thread holds across its
+  // fold-and-clear.  Live counters are read while their owners may still
+  // increment them (eventually-consistent per field); the live/retired
+  // migration itself is exact.
+  void snapshot_stats(Stats& into) const;
+
+  // Zero every live descriptor's counters and the retired accumulator.
+  // Assumes no transaction is in flight (documented contract of
+  // stats_reset).
+  void reset_stats();
 
  private:
   std::atomic<TxDescriptor*> slots_[kMaxThreads]{};
   std::atomic<std::uint64_t> high_water_{0};
 
-  // Retired-thread stats, guarded by a tiny spin flag (cold path only).
-  mutable std::atomic<bool> retired_lock_{false};
+  // Guards retired_ AND the retire transition (fold + slot clear) against
+  // concurrent snapshots.  Cold path only: taken at thread exit and in
+  // snapshot/reset, never per transaction.
+  mutable std::mutex stats_mu_;
   Stats retired_{};
 };
 

@@ -8,24 +8,14 @@
 namespace tmcv::tm {
 
 Stats& Stats::operator+=(const Stats& o) noexcept {
-  commits += o.commits;
-  ro_commits += o.ro_commits;
-  aborts += o.aborts;
-  reads += o.reads;
-  writes += o.writes;
-  extensions += o.extensions;
-  serial_commits += o.serial_commits;
-  serial_fallbacks += o.serial_fallbacks;
-  htm_capacity_aborts += o.htm_capacity_aborts;
-  htm_syscall_aborts += o.htm_syscall_aborts;
-  htm_chaos_aborts += o.htm_chaos_aborts;
-  handlers_run += o.handlers_run;
-  read_dedup_hits += o.read_dedup_hits;
-  read_dedup_appends += o.read_dedup_appends;
-  log_index_rehashes += o.log_index_rehashes;
-  handlers_registered += o.handlers_registered;
-  deferred_wakes += o.deferred_wakes;
-  wake_batches += o.wake_batches;
+  for_each_field(
+      [&](const char*, std::uint64_t Stats::*f) { this->*f += o.*f; });
+  return *this;
+}
+
+Stats& Stats::operator-=(const Stats& o) noexcept {
+  for_each_field(
+      [&](const char*, std::uint64_t Stats::*f) { this->*f -= o.*f; });
   return *this;
 }
 
@@ -48,22 +38,10 @@ std::string Stats::to_string() const {
 
 Stats stats_snapshot() {
   Stats total;
-  Registry& reg = registry();
-  const std::uint64_t n = reg.high_water();
-  for (std::uint64_t slot = 0; slot < n; ++slot) {
-    if (TxDescriptor* desc = reg.descriptor(slot)) total += desc->stats();
-  }
-  reg.fold_retired(total);
+  registry().snapshot_stats(total);
   return total;
 }
 
-void stats_reset() {
-  Registry& reg = registry();
-  const std::uint64_t n = reg.high_water();
-  for (std::uint64_t slot = 0; slot < n; ++slot) {
-    if (TxDescriptor* desc = reg.descriptor(slot)) desc->stats() = Stats{};
-  }
-  reg.reset_retired();
-}
+void stats_reset() { registry().reset_stats(); }
 
 }  // namespace tmcv::tm

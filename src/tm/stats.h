@@ -45,11 +45,39 @@ struct Stats {
                  : 0.0;
   }
 
+  // Visit every counter as (name, member pointer): single source of truth
+  // for the arithmetic below and the metrics exporters (src/obs).
+  template <typename Fn>
+  static constexpr void for_each_field(Fn&& fn) {
+    fn("reads", &Stats::reads);
+    fn("read_dedup_hits", &Stats::read_dedup_hits);
+    fn("read_dedup_appends", &Stats::read_dedup_appends);
+    fn("writes", &Stats::writes);
+    fn("commits", &Stats::commits);
+    fn("ro_commits", &Stats::ro_commits);
+    fn("aborts", &Stats::aborts);
+    fn("extensions", &Stats::extensions);
+    fn("serial_commits", &Stats::serial_commits);
+    fn("serial_fallbacks", &Stats::serial_fallbacks);
+    fn("htm_capacity_aborts", &Stats::htm_capacity_aborts);
+    fn("htm_syscall_aborts", &Stats::htm_syscall_aborts);
+    fn("htm_chaos_aborts", &Stats::htm_chaos_aborts);
+    fn("handlers_run", &Stats::handlers_run);
+    fn("log_index_rehashes", &Stats::log_index_rehashes);
+    fn("handlers_registered", &Stats::handlers_registered);
+    fn("deferred_wakes", &Stats::deferred_wakes);
+    fn("wake_batches", &Stats::wake_batches);
+  }
+
   Stats& operator+=(const Stats& o) noexcept;
+  Stats& operator-=(const Stats& o) noexcept;  // delta vs earlier snapshot
   [[nodiscard]] std::string to_string() const;
 };
 
 // Fold all live descriptors' counters (plus retired threads') into one view.
+// Safe to call while threads run and exit: the registry serializes the
+// live->retired fold against this scan, so no thread is double-counted or
+// lost (live counters themselves are read with eventual consistency).
 [[nodiscard]] Stats stats_snapshot();
 
 // Zero every live descriptor's counters and the retired accumulator.

@@ -1,10 +1,73 @@
-// Wall-clock timing helpers for the benchmark harnesses.
+// Wall-clock timing helpers for the benchmark harnesses, plus the raw
+// cycle-counter clock the observability layer stamps events with.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
 namespace tmcv {
+
+// Raw timestamp counter: the cheapest monotonic-enough clock available
+// (~20 cycles on x86, no syscall, safe inside emulated hardware
+// transactions).  Ticks are converted to nanoseconds through a one-shot
+// calibration against steady_clock; the conversion is only as good as the
+// calibration window (~2 ms), which is plenty for latency histograms and
+// trace timelines.  On architectures without a user-readable cycle counter
+// the steady clock is used directly (ticks == nanoseconds).
+class TscClock {
+ public:
+  [[nodiscard]] static std::uint64_t now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+    return __rdtsc();
+#elif defined(__aarch64__)
+    std::uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+  }
+
+  // Nanoseconds per tick (calibrated once, on first use; thread-safe).
+  [[nodiscard]] static double ns_per_tick() noexcept {
+    static const double ratio = calibrate();
+    return ratio;
+  }
+
+  [[nodiscard]] static std::uint64_t to_ns(std::uint64_t ticks) noexcept {
+    return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                      ns_per_tick());
+  }
+
+ private:
+  static double calibrate() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(__aarch64__)
+    using Clock = std::chrono::steady_clock;
+    const auto w0 = Clock::now();
+    const std::uint64_t t0 = now();
+    // ~2 ms window: long enough to swamp the clock-read costs at both ends.
+    while (Clock::now() - w0 < std::chrono::milliseconds(2)) {
+    }
+    const std::uint64_t t1 = now();
+    const auto w1 = Clock::now();
+    const auto ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(w1 - w0)
+            .count());
+    const auto ticks = static_cast<double>(t1 - t0);
+    return ticks > 0 ? ns / ticks : 1.0;
+#else
+    return 1.0;  // ticks already are steady_clock nanoseconds
+#endif
+  }
+};
 
 // Monotonic stopwatch.  Construction starts it; elapsed_*() may be called
 // repeatedly; restart() re-arms.

@@ -1,0 +1,144 @@
+// Latency-histogram unit tests: bucket boundaries, merge associativity,
+// and percentile queries (p50/p99/p999).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace obs = tmcv::obs;
+namespace hd = tmcv::obs::hist_detail;
+
+namespace {
+
+TEST(ObsHistogramBuckets, SmallValuesAreExact) {
+  // Below kSub (16) every value owns its own bucket.
+  for (std::uint64_t v = 0; v < hd::kSub; ++v) {
+    EXPECT_EQ(hd::bucket_of(v), v);
+    EXPECT_EQ(hd::bucket_lower_bound(v), v);
+    EXPECT_EQ(hd::bucket_width(v), 1u);
+  }
+}
+
+TEST(ObsHistogramBuckets, LowerBoundIsAFixedPoint) {
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // one below it to the previous bucket: the boundaries are exact.
+  for (std::size_t idx = 1; idx < hd::kBuckets; ++idx) {
+    const std::uint64_t lo = hd::bucket_lower_bound(idx);
+    EXPECT_EQ(hd::bucket_of(lo), idx) << "lower bound of bucket " << idx;
+    EXPECT_EQ(hd::bucket_of(lo - 1), idx - 1)
+        << "value below bucket " << idx;
+  }
+}
+
+TEST(ObsHistogramBuckets, WidthMatchesBoundaryGap) {
+  for (std::size_t idx = 0; idx + 1 < hd::kBuckets; ++idx) {
+    EXPECT_EQ(hd::bucket_lower_bound(idx + 1) - hd::bucket_lower_bound(idx),
+              hd::bucket_width(idx))
+        << "bucket " << idx;
+  }
+}
+
+TEST(ObsHistogramBuckets, RelativeResolutionIsOneSixteenth) {
+  // Width / lower-bound <= 1/16 for every bucket past the linear range.
+  for (std::size_t idx = hd::kSub; idx < hd::kBuckets; ++idx) {
+    EXPECT_LE(hd::bucket_width(idx) * hd::kSub, hd::bucket_lower_bound(idx))
+        << "bucket " << idx;
+  }
+}
+
+TEST(ObsHistogramBuckets, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(hd::bucket_of(~0ull), hd::kBuckets - 1);
+  EXPECT_EQ(hd::bucket_of(hd::kClamp), hd::kBuckets - 1);
+}
+
+TEST(ObsHistogram, RecordAndMean) {
+  obs::LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 60u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+obs::HistogramSnapshot snap_of(const std::vector<std::uint64_t>& values) {
+  obs::LatencyHistogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  return h.snapshot();
+}
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative) {
+  const obs::HistogramSnapshot a = snap_of({1, 5, 900, 1000000});
+  const obs::HistogramSnapshot b = snap_of({2, 2, 77, 31337});
+  const obs::HistogramSnapshot c = snap_of({12345678901ull, 3});
+
+  const obs::HistogramSnapshot ab_c = (a + b) + c;
+  const obs::HistogramSnapshot a_bc = a + (b + c);
+  const obs::HistogramSnapshot cba = c + b + a;
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_TRUE(ab_c == cba);
+  EXPECT_EQ(ab_c.count, 10u);
+
+  // Delta inverts merge: (a + b) - b == a.
+  EXPECT_TRUE((a + b) - b == a);
+}
+
+TEST(ObsHistogram, PercentilesOnUniformRange) {
+  // 1..1000: percentile(q) must land within one bucket of q*1000.
+  obs::LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+
+  for (const double q : {0.5, 0.99, 0.999}) {
+    const auto exact = static_cast<std::uint64_t>(q * 1000.0);
+    const std::uint64_t got = s.percentile(q);
+    // Result is the lower bound of the bucket holding the rank value:
+    // got <= exact < got + width(bucket_of(got)).
+    EXPECT_LE(got, exact) << "q=" << q;
+    EXPECT_GT(got + hd::bucket_width(hd::bucket_of(got)), exact)
+        << "q=" << q;
+  }
+  EXPECT_EQ(s.percentile(0.0), 1u);   // rank clamps to the first value
+  EXPECT_LE(s.percentile(1.0), 1000u);
+  EXPECT_GE(s.percentile(1.0), 960u);  // within 1/16 of the true max
+}
+
+TEST(ObsHistogram, PercentileOfPointMass) {
+  // All mass on one value: every percentile returns its bucket.
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(4242);
+  const obs::HistogramSnapshot s = h.snapshot();
+  const std::uint64_t lo = hd::bucket_lower_bound(hd::bucket_of(4242));
+  EXPECT_EQ(s.percentile(0.5), lo);
+  EXPECT_EQ(s.percentile(0.99), lo);
+  EXPECT_EQ(s.percentile(0.999), lo);
+  EXPECT_EQ(s.max_observed(), lo);
+}
+
+TEST(ObsHistogram, PercentileSplitsBimodalMass) {
+  // 90 fast (≈100ns) + 10 slow (≈1ms): p50 sees the fast mode, p99/p999
+  // the slow one.
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000000);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.percentile(0.5), hd::bucket_lower_bound(hd::bucket_of(100)));
+  EXPECT_EQ(s.percentile(0.99),
+            hd::bucket_lower_bound(hd::bucket_of(1000000)));
+  EXPECT_EQ(s.percentile(0.999),
+            hd::bucket_lower_bound(hd::bucket_of(1000000)));
+}
+
+TEST(ObsHistogram, EmptySnapshotIsZero) {
+  const obs::HistogramSnapshot s;
+  EXPECT_EQ(s.percentile(0.5), 0u);
+  EXPECT_EQ(s.max_observed(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+}  // namespace

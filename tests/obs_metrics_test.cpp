@@ -1,0 +1,192 @@
+// Metrics-registry tests: snapshot/delta, the JSON and Prometheus
+// exporters, the condvar aggregate (live + destroyed), and a regression
+// test for the thread-exit stats fold racing concurrent snapshots.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/condvar.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tm/api.h"
+#include "tm/var.h"
+
+namespace obs = tmcv::obs;
+using tmcv::CondVar;
+using tmcv::CondVarStats;
+
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_trace_enabled(false);
+    obs::set_timing_enabled(false);
+    obs::trace_reset();
+  }
+  void TearDown() override {
+    obs::set_trace_enabled(false);
+    obs::set_timing_enabled(false);
+    obs::trace_reset();
+  }
+};
+
+TEST_F(ObsMetricsTest, SnapshotAndDelta) {
+  const obs::MetricsSnapshot before = obs::metrics_snapshot();
+  obs::set_timing_enabled(true);
+  tmcv::tm::var<std::uint64_t> x(0);
+  for (int i = 0; i < 10; ++i) tmcv::tm::atomically([&] { x.store(x.load() + 1); });
+  obs::set_timing_enabled(false);
+  const obs::MetricsSnapshot after = obs::metrics_snapshot();
+  const obs::MetricsSnapshot d = obs::metrics_delta(after, before);
+
+  EXPECT_GE(d.tm.commits, 10u);
+#if TMCV_TRACE
+  // Timing was on: the commit histogram saw our transactions.  (With the
+  // compile gate off the hooks vanish and the histograms stay empty.)
+  EXPECT_GE(d.txn_commit_ns.count, 10u);
+  EXPECT_GT(d.txn_commit_ns.sum, 0u);
+#else
+  EXPECT_EQ(d.txn_commit_ns.count, 0u);
+#endif
+}
+
+TEST_F(ObsMetricsTest, JsonExporterShape) {
+  const obs::MetricsSnapshot s = obs::metrics_snapshot();
+  const std::string json = obs::to_json(s);
+  for (const char* key :
+       {"\"tm\"", "\"condvar\"", "\"trace\"", "\"histograms\"",
+        "\"commits\"", "\"aborts\"", "\"dedup_hit_rate\"", "\"waits\"",
+        "\"cv_wait_ns\"", "\"notify_wake_ns\"", "\"txn_commit_ns\"",
+        "\"txn_abort_ns\"", "\"serial_stall_ns\"", "\"p50\"", "\"p99\"",
+        "\"p999\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(ObsMetricsTest, PrometheusExporterShape) {
+  const obs::MetricsSnapshot s = obs::metrics_snapshot();
+  const std::string prom = obs::to_prometheus(s);
+  for (const char* needle :
+       {"tmcv_tm_commits_total", "tmcv_cv_waits_total",
+        "# TYPE tmcv_cv_wait_ns summary",
+        "tmcv_cv_wait_ns{quantile=\"0.5\"}",
+        "tmcv_cv_wait_ns{quantile=\"0.999\"}", "tmcv_cv_wait_ns_sum",
+        "tmcv_cv_wait_ns_count"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST_F(ObsMetricsTest, WriteFilesAndChromeTrace) {
+  obs::set_trace_enabled(true);
+  obs::emit_instant(obs::Event::kSemPost);
+  obs::set_trace_enabled(false);
+
+  ASSERT_TRUE(
+      obs::write_metrics_files(obs::metrics_snapshot(), "obs_test_metrics.json"));
+  ASSERT_TRUE(obs::write_chrome_trace("obs_test_trace.json"));
+
+  const auto slurp = [](const char* path) {
+    std::FILE* f = std::fopen(path, "r");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while (f && (n = std::fread(buf, 1, sizeof buf, f)) > 0)
+      out.append(buf, n);
+    if (f) std::fclose(f);
+    return out;
+  };
+  EXPECT_NE(slurp("obs_test_metrics.json").find("\"histograms\""),
+            std::string::npos);
+  EXPECT_NE(slurp("obs_test_metrics.json.prom").find("tmcv_tm_commits_total"),
+            std::string::npos);
+  const std::string trace = slurp("obs_test_trace.json");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("sem.post"), std::string::npos);
+  std::remove("obs_test_metrics.json");
+  std::remove("obs_test_metrics.json.prom");
+  std::remove("obs_test_trace.json");
+}
+
+TEST_F(ObsMetricsTest, CondVarAggregateIncludesDestroyedObjects) {
+  const CondVarStats before = tmcv::condvar_stats_aggregate();
+  {
+    CondVar cv;
+    // Notifies on an empty queue: counted as calls + lost notifies, no
+    // waiters needed.
+    EXPECT_FALSE(cv.notify_one());
+    EXPECT_FALSE(cv.notify_one());
+    EXPECT_EQ(cv.notify_all(), 0u);
+
+    CondVarStats live = tmcv::condvar_stats_aggregate();
+    live -= before;
+    EXPECT_EQ(live.notify_one_calls, 2u);
+    EXPECT_EQ(live.notify_all_calls, 1u);
+    EXPECT_EQ(live.lost_notifies, 3u);
+  }
+  // Destroyed: its counters moved to the retired accumulator, not vanished.
+  CondVarStats after = tmcv::condvar_stats_aggregate();
+  after -= before;
+  EXPECT_EQ(after.notify_one_calls, 2u);
+  EXPECT_EQ(after.notify_all_calls, 1u);
+  EXPECT_EQ(after.lost_notifies, 3u);
+}
+
+// Regression: tm::Stats folding on thread exit used to release the retired
+// lock before clearing the thread's registry slot, so a concurrent
+// stats_snapshot could count an exiting thread twice.  Spawn/join threads
+// while snapshotting continuously: every intermediate snapshot must be
+// monotonic and never exceed the true total, and the final snapshot must be
+// exact.
+TEST_F(ObsMetricsTest, ThreadExitFoldDoesNotRaceSnapshots) {
+  tmcv::tm::stats_reset();
+  constexpr int kWaves = 8;
+  constexpr int kThreadsPerWave = 4;
+  constexpr int kTxnsPerThread = 200;
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kWaves) * kThreadsPerWave * kTxnsPerThread;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread snapshotter([&] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t commits = tmcv::tm::stats_snapshot().commits;
+      // Double-counting manifests as commits > kTotal (an exiting thread
+      // seen both live and retired) or as a non-monotonic sequence.
+      if (commits > kTotal || commits < prev) {
+        failed.store(true);
+        break;
+      }
+      prev = commits;
+    }
+  });
+
+  tmcv::tm::var<std::uint64_t> x(0);
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreadsPerWave);
+    for (int t = 0; t < kThreadsPerWave; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kTxnsPerThread; ++i)
+          tmcv::tm::atomically([&] { x.store(x.load() + 1); });
+      });
+    }
+    for (auto& w : workers) w.join();  // every join is a thread-exit fold
+  }
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  EXPECT_FALSE(failed.load()) << "snapshot raced a thread-exit fold";
+  EXPECT_EQ(tmcv::tm::stats_snapshot().commits, kTotal);
+  std::uint64_t sum = 0;
+  tmcv::tm::atomically([&] { sum = x.load(); });
+  EXPECT_EQ(sum, kTotal);
+}
+
+}  // namespace

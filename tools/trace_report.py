@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Summarize or validate a Chrome trace-event JSON produced by --trace.
+
+The runtime's trace writer (src/obs/trace_io.cpp) emits the Chrome/Perfetto
+"JSON Array Format": a top-level object with a `traceEvents` list of complete
+("ph": "X", with `dur`) and instant ("ph": "i") events, timestamps in
+microseconds relative to the earliest event.  Load the file in
+https://ui.perfetto.dev for a timeline; this script gives the terminal view:
+
+    tools/trace_report.py trace.json              # per-event summary table
+    tools/trace_report.py trace.json --validate   # schema check, exit 1 on error
+    tools/trace_report.py trace.json --tid 3      # restrict to one thread
+
+Only the standard library is used, so the script runs in minimal containers.
+"""
+
+import argparse
+import json
+import sys
+
+# Events the tmcv runtime emits (src/obs/trace.h).  Unknown names are
+# reported, not rejected: the format is open.
+KNOWN_EVENTS = {
+    "txn.commit", "txn.abort", "txn.serial_fallback",
+    "cv.wait", "cv.notify",
+    "sem.wait", "sem.post", "sem.post_batch",
+}
+
+REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(doc):
+    """Return a list of problem strings (empty = valid)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list `traceEvents`"]
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        for field in REQUIRED_FIELDS:
+            if field not in ev:
+                problems.append("%s: missing `%s`" % (where, field))
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            problems.append("%s: unexpected ph=%r (want 'X' or 'i')"
+                            % (where, ph))
+        if ph == "X" and "dur" not in ev:
+            problems.append("%s: complete event missing `dur`" % where)
+        for field in ("ts", "dur"):
+            if field in ev and not isinstance(ev[field], (int, float)):
+                problems.append("%s: `%s` is not a number" % (where, field))
+        if len(problems) >= 20:
+            problems.append("... (stopping after 20 problems)")
+            return problems
+    # Timestamps must be non-decreasing: the writer merges per-thread rings
+    # with a stable sort.
+    ts = [ev.get("ts") for ev in events
+          if isinstance(ev, dict) and isinstance(ev.get("ts"), (int, float))]
+    if any(b < a for a, b in zip(ts, ts[1:])):
+        problems.append("traceEvents are not sorted by ts")
+    return problems
+
+
+def summarize(doc, tid_filter=None):
+    events = doc.get("traceEvents", [])
+    if tid_filter is not None:
+        events = [ev for ev in events if ev.get("tid") == tid_filter]
+    if not events:
+        print("no events")
+        return
+
+    by_name = {}  # name -> [count, total_dur_us, max_dur_us]
+    tids = set()
+    for ev in events:
+        tids.add(ev.get("tid"))
+        entry = by_name.setdefault(ev["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        dur = ev.get("dur", 0.0)
+        entry[1] += dur
+        entry[2] = max(entry[2], dur)
+
+    span = max(ev["ts"] + ev.get("dur", 0.0) for ev in events)
+    print("%d events, %d threads, %.3f ms span" %
+          (len(events), len(tids), span / 1000.0))
+    print()
+    print("%-20s %8s %12s %12s %12s" %
+          ("event", "count", "total_ms", "mean_us", "max_us"))
+    for name in sorted(by_name, key=lambda n: -by_name[n][1]):
+        count, total, peak = by_name[name]
+        tag = "" if name in KNOWN_EVENTS else "  (unknown)"
+        print("%-20s %8d %12.3f %12.3f %12.3f%s" %
+              (name, count, total / 1000.0, total / count, peak, tag))
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Summarize/validate a Chrome trace from --trace.")
+    ap.add_argument("trace", help="path to the trace JSON")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check only; exit 1 if invalid")
+    ap.add_argument("--tid", type=int, default=None,
+                    help="summarize a single thread id")
+    args = ap.parse_args(argv)
+
+    try:
+        doc = load(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+    problems = validate(doc)
+    if args.validate:
+        if problems:
+            for p in problems:
+                print("invalid: %s" % p, file=sys.stderr)
+            return 1
+        print("ok: %d events" % len(doc["traceEvents"]))
+        return 0
+
+    if problems:  # summarize best-effort, but warn
+        for p in problems:
+            print("warning: %s" % p, file=sys.stderr)
+    summarize(doc, args.tid)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
