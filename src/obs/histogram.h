@@ -198,5 +198,9 @@ inline LatencyHistogram& hist_serial_stall() noexcept {
   static LatencyHistogram h;
   return h;
 }
+inline LatencyHistogram& hist_cm_backoff() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
 
 }  // namespace tmcv::obs

@@ -22,6 +22,7 @@ MetricsSnapshot metrics_snapshot() {
   s.txn_commit_ns = hist_txn_commit().snapshot();
   s.txn_abort_ns = hist_txn_abort().snapshot();
   s.serial_stall_ns = hist_serial_stall().snapshot();
+  s.cm_backoff_ns = hist_cm_backoff().snapshot();
   return s;
 }
 
@@ -37,6 +38,7 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
   d.txn_commit_ns -= before.txn_commit_ns;
   d.txn_abort_ns -= before.txn_abort_ns;
   d.serial_stall_ns -= before.serial_stall_ns;
+  d.cm_backoff_ns -= before.cm_backoff_ns;
   return d;
 }
 
@@ -47,7 +49,7 @@ struct NamedHist {
   const HistogramSnapshot* hist;
 };
 
-// The five histograms by export name, in a stable order.
+// The histograms by export name, in a stable order.
 void for_each_hist(const MetricsSnapshot& s,
                    const std::function<void(const NamedHist&)>& fn) {
   fn({"cv_wait_ns", &s.cv_wait_ns});
@@ -55,6 +57,7 @@ void for_each_hist(const MetricsSnapshot& s,
   fn({"txn_commit_ns", &s.txn_commit_ns});
   fn({"txn_abort_ns", &s.txn_abort_ns});
   fn({"serial_stall_ns", &s.serial_stall_ns});
+  fn({"cm_backoff_ns", &s.cm_backoff_ns});
 }
 
 }  // namespace

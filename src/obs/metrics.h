@@ -35,6 +35,8 @@ struct MetricsSnapshot {
   HistogramSnapshot txn_commit_ns;    // begin -> successful outermost commit
   HistogramSnapshot txn_abort_ns;     // begin -> abort (any reason)
   HistogramSnapshot serial_stall_ns;  // serial-fallback lock-acquire stall
+  HistogramSnapshot cm_backoff_ns;    // CM waits: polite orec wait +
+                                      // inter-retry backoff
 };
 
 // Capture everything now.

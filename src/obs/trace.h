@@ -53,6 +53,8 @@ enum class Event : std::uint16_t {
                         // (uncontended waits emit nothing by design)
   kSemPost,             // instant: semaphore post
   kSemPostBatch,        // instant: coalesced batch post; arg = batch size
+  kCmBackoff,           // complete: contention-manager wait (polite orec
+                        // wait or inter-retry backoff)
   kEventTypeCount,
 };
 
@@ -75,6 +77,8 @@ enum class Event : std::uint16_t {
       return "sem.post";
     case Event::kSemPostBatch:
       return "sem.post_batch";
+    case Event::kCmBackoff:
+      return "cm.backoff";
     case Event::kEventTypeCount:
       break;
   }
@@ -89,6 +93,7 @@ enum class Event : std::uint16_t {
     case Event::kSerialFallback:
     case Event::kCvWait:
     case Event::kSemWait:
+    case Event::kCmBackoff:
       return true;
     default:
       return false;

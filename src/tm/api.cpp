@@ -1,7 +1,6 @@
 #include "tm/api.h"
 
 #include <atomic>
-#include <thread>
 
 #include "sync/futex.h"
 
@@ -31,21 +30,6 @@ void retry_sleep(std::uint32_t observed) noexcept {
   // closure and re-evaluates the predicate.
   futex_wait(&commit_signal_word(), observed);
   waiters.fetch_sub(1, std::memory_order_seq_cst);
-}
-
-void backoff_before_retry(int attempt) noexcept {
-  // Randomized exponential backoff, capped; escalates to yielding so an
-  // oversubscribed machine makes progress.
-  thread_local Xoshiro256 rng(0x7f4a7c15u ^
-                              std::hash<std::thread::id>{}(
-                                  std::this_thread::get_id()));
-  const int shift = attempt < 10 ? attempt : 10;
-  const std::uint64_t spins = rng.next_below(1ull << shift) + 1;
-  if (attempt > 6) {
-    sched_yield();
-    return;
-  }
-  for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
 }
 
 }  // namespace detail

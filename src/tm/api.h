@@ -10,11 +10,13 @@
 // Nesting is flat (paper §4.3): a nested atomically() merges into the
 // enclosing transaction and the whole flat nest commits/aborts together.
 //
-// Contention management: randomized exponential backoff between retries and
-// escalation to the serial-irrevocable mode after a bounded number of
-// attempts, which guarantees progress even on heavily oversubscribed
-// machines.  The HTM backend escalates after very few attempts, emulating
-// RTM's lock-elision fallback.
+// Contention management (tm/cm.h): jittered exponential backoff between
+// retries, escalation to the serial-irrevocable mode after a bounded number
+// of attempts *or* a run of consecutive conflict aborts, which guarantees
+// progress even on heavily oversubscribed machines.  The HTM backend sizes
+// its attempt budget from the global fallback-pressure hysteresis and gives
+// up immediately on aborts retrying cannot fix (capacity, syscall),
+// emulating RTM's lock-elision fallback discipline.
 //
 // Thread-safety note on statistics: stats_snapshot is safe to call while
 // threads run and exit -- the registry serializes thread-exit folds against
@@ -29,14 +31,8 @@
 #include <utility>
 
 #include "tm/descriptor.h"
-#include "util/backoff.h"
-#include "util/rng.h"
 
 namespace tmcv::tm {
-
-// Retry budgets before escalating to the serial lock.
-inline constexpr int kStmAttemptsBeforeSerial = 64;
-inline constexpr int kHtmAttemptsBeforeSerial = 8;
 
 // Process-wide default backend for transactions that do not name one.
 void set_default_backend(Backend b) noexcept;
@@ -113,8 +109,6 @@ void punctuate(F&& between, bool irrevocable_resume = true) {
 
 namespace detail {
 
-void backoff_before_retry(int attempt) noexcept;
-
 // Park until the commit signal moves past `observed` (retry_wait support).
 void retry_sleep(std::uint32_t observed) noexcept;
 
@@ -122,22 +116,32 @@ template <typename F>
 void run_optimistic(Backend backend, F&& fn) {
   TxDescriptor& d = descriptor();
   if (backend == Backend::Hybrid && !d.in_txn()) {
-    // Hybrid policy: a handful of hardware attempts, then software, then
-    // (via the EagerSTM budget below) the serial lock.  TxAbort from the
-    // HTM attempts is consumed here; anything else propagates.
-    for (int attempt = 1; attempt <= kHtmAttemptsBeforeSerial; ++attempt) {
+    // Hybrid policy: a few hardware attempts (sized by the global
+    // fallback-pressure hysteresis, so a fallback storm shrinks everyone's
+    // budget instead of letting the whole fleet lemming into the lock), then
+    // software, then (via the EagerSTM budget below) the serial lock.
+    // Capacity and syscall aborts are deterministic for a given closure:
+    // retrying in hardware cannot succeed, so they forfeit the remaining
+    // hardware budget immediately.  TxAbort from the HTM attempts is
+    // consumed here; anything else propagates.
+    const int hw_budget = htm_attempt_budget();
+    for (int attempt = 1; attempt <= hw_budget; ++attempt) {
       d.begin_top(Backend::HTM);
       try {
         fn();
         d.commit_top();
+        note_htm_commit();
         return;
       } catch (const TxAbort& abort) {
         d.after_abort();
         if (abort.reason == TxAbort::Reason::RetryWait) {
           retry_sleep(static_cast<std::uint32_t>(abort.retry_signal));
           --attempt;
+        } else if (abort.reason == TxAbort::Reason::Capacity ||
+                   abort.reason == TxAbort::Reason::Syscall) {
+          break;  // hardware cannot run this closure; stop burning attempts
         } else {
-          backoff_before_retry(attempt);
+          d.backoff_for_retry();
         }
       } catch (...) {
         if (d.in_txn()) {
@@ -149,6 +153,7 @@ void run_optimistic(Backend backend, F&& fn) {
         throw;
       }
     }
+    note_htm_fallback();
     backend = Backend::EagerSTM;  // software fallback
   } else if (backend == Backend::Hybrid) {
     backend = Backend::EagerSTM;  // nested: merge into the software nest
@@ -168,16 +173,25 @@ void run_optimistic(Backend backend, F&& fn) {
     if (d.in_txn()) d.pop_nested();  // a split WAIT may have closed the txn
     return;
   }
-  const int budget = backend == Backend::HTM ? kHtmAttemptsBeforeSerial
+  const int budget = backend == Backend::HTM ? htm_attempt_budget()
                                              : kStmAttemptsBeforeSerial;
   // Closures that ever executed retry_wait are *waiting*, not livelocked:
   // they must never escalate to the serial lock (a serial closure blocks
   // every other thread, so the awaited predicate could never become true).
   bool has_retry_waited = false;
+  // Hardware aborts that retrying cannot fix (capacity, syscall) skip the
+  // rest of the budget and escalate on the next loop head.
+  bool hard_fail = false;
   for (int attempt = 1;; ++attempt) {
-    if (attempt > budget && !has_retry_waited) {
+    if ((attempt > budget || hard_fail || d.cm().wants_serial()) &&
+        !has_retry_waited) {
       // Escalate: run irrevocably under the serial lock.
       ++d.stats().serial_fallbacks;
+      // A conflict streak hitting the CM limit before the attempt budget is
+      // exhausted is the adaptive (karma-style) escalation; count it apart
+      // from plain budget exhaustion.
+      if (!hard_fail && attempt <= budget) ++d.stats().cm_serial_escalations;
+      if (backend == Backend::HTM) note_htm_fallback();
       d.begin_serial();
       try {
         fn();
@@ -195,6 +209,7 @@ void run_optimistic(Backend backend, F&& fn) {
     try {
       fn();
       d.commit_top();
+      if (backend == Backend::HTM) note_htm_commit();
       return;
     } catch (const TxAbort& abort) {
       d.after_abort();
@@ -204,8 +219,12 @@ void run_optimistic(Backend backend, F&& fn) {
         has_retry_waited = true;
         retry_sleep(static_cast<std::uint32_t>(abort.retry_signal));
         --attempt;
+      } else if (backend == Backend::HTM &&
+                 (abort.reason == TxAbort::Reason::Capacity ||
+                  abort.reason == TxAbort::Reason::Syscall)) {
+        hard_fail = true;  // deterministic hardware failure: go serial now
       } else {
-        backoff_before_retry(attempt);
+        d.backoff_for_retry();
       }
     } catch (...) {
       // A non-TM exception escaping the body aborts the transaction (all

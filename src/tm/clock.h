@@ -15,14 +15,33 @@ namespace tmcv::tm {
 
 class VersionClock {
  public:
+  struct Tick {
+    std::uint64_t time;  // commit timestamp to stamp released orecs with
+    bool reused;         // another committer's concurrent tick was adopted
+  };
+
   // Current time; used as a transaction's start timestamp.
   [[nodiscard]] std::uint64_t now() const noexcept {
     return time_.load(std::memory_order_acquire);
   }
 
-  // Advance and return the new (commit) timestamp.
-  std::uint64_t tick() noexcept {
-    return time_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Produce a commit timestamp, TL2-GV4 style ("pass on failure"): one CAS
+  // attempt; when it fails, a concurrent committer advanced the clock and
+  // its strictly newer value is adopted instead of retrying, so under heavy
+  // commit traffic the shared line is written once per *winning* committer
+  // rather than once per committer.  Adoption is safe: at this point every
+  // committer holds its (pairwise disjoint) write locks, and the adopted
+  // value is >= the adopter's start time + 1.  The caller MUST fully
+  // validate its read set when `reused` -- the classic "time == start + 1
+  // means nobody else committed" validation skip is only sound for a tick
+  // this committer won itself.
+  Tick tick() noexcept {
+    std::uint64_t cur = time_.load(std::memory_order_relaxed);
+    if (time_.compare_exchange_strong(cur, cur + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+      return {cur + 1, false};
+    return {cur, true};  // cur was reloaded by the failed CAS
   }
 
  private:

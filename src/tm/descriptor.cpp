@@ -147,8 +147,14 @@ std::atomic<std::uint32_t>& retry_waiter_count() noexcept {
 }
 
 void TxDescriptor::announce_epoch() noexcept {
+  // The store needs no seq_cst fence (it was an xchg on the begin fast
+  // path): if the collector reads this slot before the store lands it sees
+  // the previous -- smaller -- announcement, which epoch.cpp's gc_collect
+  // treats as conservatively stale (it only delays frees, never makes them
+  // unsafe).  The seq_cst activity_ RMW preceding every announcement keeps
+  // the begin/quiescence ordering intact.
   epoch_.store(g_gc_epoch.load(std::memory_order_seq_cst),
-               std::memory_order_seq_cst);
+               std::memory_order_release);
 }
 
 void TxDescriptor::activity_begin() noexcept {
@@ -186,7 +192,7 @@ void TxDescriptor::new_log_epoch() noexcept {
   ++log_epoch_;
   epoch_tag_ = log_epoch_ & kFilterEpochMask;
   redo_index_.reset(log_epoch_);
-  lock_index_.reset(log_epoch_);
+  redo_indexed_ = false;
   htm_reads_ = 0;
 }
 
@@ -219,6 +225,7 @@ void TxDescriptor::commit_top() {
   depth_ = 0;
   activity_end();
   ++stats_.commits;
+  cm_.note_commit();
 #if TMCV_TRACE
   obs::region_end(obs::Event::kTxnCommit, txn_begin_ticks_,
                   &obs::hist_txn_commit());
@@ -232,6 +239,23 @@ void TxDescriptor::abort_restart(TxAbort::Reason reason) {
     if (reason == TxAbort::Reason::Capacity) ++stats_.htm_capacity_aborts;
     if (reason == TxAbort::Reason::Syscall) ++stats_.htm_syscall_aborts;
   }
+  switch (reason) {
+    case TxAbort::Reason::Conflict:
+      ++stats_.aborts_conflict;
+      break;
+    case TxAbort::Reason::Capacity:
+      ++stats_.aborts_capacity;
+      break;
+    case TxAbort::Reason::Syscall:
+      ++stats_.aborts_syscall;
+      break;
+    case TxAbort::Reason::Explicit:
+      ++stats_.aborts_explicit;
+      break;
+    case TxAbort::Reason::RetryWait:
+      break;  // counted in retry_and_wait
+  }
+  cm_.note_abort(reason);
   rollback();
   run_abort_handlers();
   state_ = TxState::Idle;
@@ -262,6 +286,7 @@ void TxDescriptor::retry_and_wait() {
   depth_ = 0;
   activity_end();
   ++stats_.aborts;
+  ++stats_.aborts_retry_wait;
 #if TMCV_TRACE
   obs::region_end(obs::Event::kTxnAbort, txn_begin_ticks_,
                   &obs::hist_txn_abort(),
@@ -300,6 +325,7 @@ void TxDescriptor::commit_serial() {
   g_serial.release();
   ++stats_.commits;
   ++stats_.serial_commits;
+  cm_.note_commit();
 #if TMCV_TRACE
   obs::region_end(obs::Event::kTxnCommit, txn_begin_ticks_,
                   &obs::hist_txn_commit());
@@ -460,13 +486,30 @@ void TxDescriptor::write_eager(std::atomic<std::uint64_t>* addr,
 
 void TxDescriptor::write_lazy(std::atomic<std::uint64_t>* addr,
                               std::uint64_t value) {
-  if (RedoEntry* e = find_redo(addr)) {
-    e->value = value;
-    return;
-  }
+  // Append-only redo log: a repeated write appends a second entry instead of
+  // seeking and updating the first, so the store fast path is a plain
+  // push_back.  Lookups still resolve to the newest write -- find_redo scans
+  // newest-first and the index upsert repoints at the latest entry -- and
+  // commit write-back replays the log in program order, so the last write
+  // wins there too.  Duplicate entries cost one extra write-back store and
+  // an own-lock check at acquisition, both far cheaper than a per-store
+  // lookup.
   const auto idx = static_cast<std::uint32_t>(redo_log_.size());
   redo_log_.push_back(RedoEntry{addr, value});
-  if (redo_index_.insert(addr, idx)) ++stats_.log_index_rehashes;
+  if (redo_indexed_) {
+    if (redo_index_.upsert(addr, idx)) ++stats_.log_index_rehashes;
+  } else if (redo_log_.size() > kRedoIndexThreshold) {
+    build_redo_index();
+  }
+}
+
+void TxDescriptor::build_redo_index() {
+  // The write set outgrew the linear scan; index every live entry once and
+  // switch find_redo to O(1) for the rest of the transaction.  (The index
+  // was reset for this log epoch at begin, so plain inserts suffice.)
+  for (std::uint32_t i = 0; i < redo_log_.size(); ++i)
+    if (redo_index_.upsert(redo_log_[i].addr, i)) ++stats_.log_index_rehashes;
+  redo_indexed_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -481,12 +524,15 @@ void TxDescriptor::commit_eager() {
     reset_logs();
     return;
   }
-  const std::uint64_t wt = g_clock.tick();
-  // If nobody committed since our snapshot, reads are trivially valid.
-  if (wt != start_time_ + 1 && !reads_valid())
+  const VersionClock::Tick t = g_clock.tick();
+  stats_.clock_cas_reuses += t.reused;
+  // If we won the tick and nobody committed since our snapshot, reads are
+  // trivially valid; a reused tick means someone DID commit concurrently,
+  // so the skip is never sound then (see VersionClock::tick).
+  if ((t.reused || t.time != start_time_ + 1) && !reads_valid())
     abort_restart(TxAbort::Reason::Conflict);
   for (const LockEntry& e : lock_set_)
-    e.orec->store(make_version(wt), std::memory_order_release);
+    e.orec->store(make_version(t.time), std::memory_order_release);
   reset_logs();
   bump_commit_signal();
 }
@@ -497,36 +543,64 @@ void TxDescriptor::commit_lazy() {
     reset_logs();
     return;
   }
-  // Acquire every written stripe (encounter order; duplicates share locks).
-  for (const RedoEntry& w : redo_log_) {
-    Orec& o = orec_for(w.addr);
-    if (find_lock(&o) != nullptr) continue;
+  // Acquire every written stripe, one lock per orec.  Duplicate stripes need
+  // no side table: the orec word itself records ownership, and the
+  // acquisition protocol starts with the load that reveals it -- a stripe we
+  // already hold is skipped by the locked_by_me check below for free (the
+  // old per-entry lock-index maintenance disappears entirely).
+  //
+  // Small write sets (the overwhelmingly common case) acquire in encounter
+  // order: the whole commit window is a handful of stores, so the polite
+  // wait below comfortably outlives any cycle partner and the bounded wait
+  // turns ordering hazards into (at worst) one abort.  Large write sets are
+  // first deduped and sorted into a global acquisition order, so long
+  // commit windows chase each other's locks in one direction and cannot
+  // form cyclic polite waits.
+  const bool sorted_acquire = redo_log_.size() > kSortedAcquireThreshold;
+  if (sorted_acquire) {
+    acquire_scratch_.clear();
+    for (const RedoEntry& w : redo_log_)
+      acquire_scratch_.push_back(&orec_for(w.addr));
+    std::sort(acquire_scratch_.begin(), acquire_scratch_.end());
+    acquire_scratch_.erase(
+        std::unique(acquire_scratch_.begin(), acquire_scratch_.end()),
+        acquire_scratch_.end());
+  }
+  const std::size_t n_stripes =
+      sorted_acquire ? acquire_scratch_.size() : redo_log_.size();
+  for (std::size_t i = 0; i < n_stripes; ++i) {
+    Orec* o = sorted_acquire ? acquire_scratch_[i] : &orec_for(redo_log_[i].addr);
     for (;;) {
-      OrecWord cur = o.load(std::memory_order_acquire);
+      OrecWord cur = o->load(std::memory_order_acquire);
       if (orec_is_locked(cur)) {
-        // Someone else is committing this stripe (or we'd have found our own
-        // lock entry): conflict.
-        abort_restart(TxAbort::Reason::Conflict);
+        if (orec_locked_by_me(cur)) break;  // duplicate stripe: already ours
+        // Polite acquisition: commit-time lock holds are short (write-back
+        // plus release), so a bounded wait usually outlives the holder and
+        // turns what was an instant abort into a brief pause.
+        cur = wait_for_orec_unlock(*o);
+        if (orec_is_locked(cur)) abort_restart(TxAbort::Reason::Conflict);
+        continue;  // re-run the protocol against the fresh word
       }
       if (orec_version(cur) > start_time_) {
         if (!extend()) abort_restart(TxAbort::Reason::Conflict);
         continue;
       }
-      if (o.compare_exchange_strong(cur, make_locked(slot_),
-                                    std::memory_order_acq_rel,
-                                    std::memory_order_acquire)) {
-        note_lock(&o, cur);
+      if (o->compare_exchange_strong(cur, make_locked(slot_),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        note_lock(o, cur);
         break;
       }
     }
   }
-  const std::uint64_t wt = g_clock.tick();
-  if (wt != start_time_ + 1 && !reads_valid())
+  const VersionClock::Tick t = g_clock.tick();
+  stats_.clock_cas_reuses += t.reused;
+  if ((t.reused || t.time != start_time_ + 1) && !reads_valid())
     abort_restart(TxAbort::Reason::Conflict);
   for (const RedoEntry& w : redo_log_)
     w.addr->store(w.value, std::memory_order_release);
   for (const LockEntry& e : lock_set_)
-    e.orec->store(make_version(wt), std::memory_order_release);
+    e.orec->store(make_version(t.time), std::memory_order_release);
   reset_logs();
   bump_commit_signal();
 }
@@ -664,9 +738,44 @@ void TxDescriptor::read_set_grow() {
 }
 
 void TxDescriptor::note_lock(Orec* o, OrecWord prior) {
-  const auto idx = static_cast<std::uint32_t>(lock_set_.size());
   lock_set_.push_back(LockEntry{o, prior});
-  if (lock_index_.insert(o, idx)) ++stats_.log_index_rehashes;
+}
+
+OrecWord TxDescriptor::wait_for_orec_unlock(Orec& o) noexcept {
+  ++stats_.cm_waits;
+#if TMCV_TRACE
+  const std::uint64_t t0 = obs::region_begin();
+#endif
+  const std::uint32_t rounds = cm_orec_wait_rounds();
+  OrecWord cur = o.load(std::memory_order_acquire);
+  for (std::uint32_t r = 0; r < rounds && orec_is_locked(cur); ++r) {
+    if (r < 2) {
+      // Short jittered spins first: commit-time holds are usually a few
+      // stores long, and jitter keeps simultaneous waiters from re-probing
+      // in lockstep.
+      const std::uint32_t spins = 1u + cm_.jitter(16u << r);
+      for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+    } else {
+      // Oversubscribed machines: the holder needs the CPU to finish.
+      sched_yield();
+    }
+    cur = o.load(std::memory_order_acquire);
+  }
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kCmBackoff, t0, &obs::hist_cm_backoff());
+#endif
+  return cur;
+}
+
+void TxDescriptor::backoff_for_retry() noexcept {
+  ++stats_.cm_backoffs;
+#if TMCV_TRACE
+  const std::uint64_t t0 = obs::region_begin();
+#endif
+  cm_.backoff_before_retry();
+#if TMCV_TRACE
+  obs::region_end(obs::Event::kCmBackoff, t0, &obs::hist_cm_backoff());
+#endif
 }
 
 void TxDescriptor::reset_logs() noexcept {

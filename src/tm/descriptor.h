@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "tm/clock.h"
+#include "tm/cm.h"
 #include "tm/orec.h"
 #include "tm/stats.h"
 #include "util/assert.h"
@@ -49,21 +50,8 @@ enum class Backend : std::uint8_t {
 
 [[nodiscard]] const char* to_string(Backend b) noexcept;
 
-// Thrown (after rollback) to unwind to the retry loop.  User code must not
-// swallow it; tm::atomically rethrows anything else after aborting.
-struct TxAbort {
-  enum class Reason : std::uint8_t {
-    Conflict,
-    Capacity,
-    Syscall,
-    Explicit,
-    RetryWait,  // Harris-style retry: sleep until some commit, then re-run
-  };
-  Reason reason = Reason::Conflict;
-  // For RetryWait: the commit-signal value observed before aborting (the
-  // retry loop sleeps until the signal moves past it).
-  std::uint64_t retry_signal = 0;
-};
+// TxAbort (the abort token) lives in tm/cm.h alongside the attempt budgets
+// and the contention-management policy.
 
 enum class TxState : std::uint8_t { Idle, Optimistic, Serial };
 
@@ -191,8 +179,13 @@ class TxDescriptor {
     return epoch_.load(std::memory_order_seq_cst);
   }
 
-  // ---- stats ----
+  // ---- stats & contention management ----
   Stats& stats() noexcept { return stats_; }
+  ContentionManager& cm() noexcept { return cm_; }
+
+  // Jittered backoff between optimistic retries (the one tuned policy, via
+  // the contention manager), with stats/obs accounting.
+  void backoff_for_retry() noexcept;
 
   // HTM emulation capacities (exposed for tests/benchmarks).
   static constexpr std::size_t kHtmReadCapacity = 1024;
@@ -269,11 +262,13 @@ class TxDescriptor {
   [[nodiscard]] std::uint64_t read_word_slow(
       const std::atomic<std::uint64_t>* addr);
 
-  // ---- write-log hash index ----
+  // ---- redo-log hash index ----
   //
   // Open-addressed, inline-storage map from a key pointer to a log index,
-  // making find_redo/find_lock O(1) instead of a linear scan (LazySTM
-  // read-after-write and commit-time lock acquisition were O(n^2)).  Slots
+  // making find_redo O(1) for large write sets (LazySTM read-after-write
+  // was O(n^2)).  Small write sets never build it: find_redo scans the log
+  // directly until it outgrows kRedoIndexThreshold entries -- a handful of
+  // contiguous compares beats per-write hash maintenance.  Slots
   // are invalidated wholesale by epoch stamping: a slot belongs to the
   // current transaction iff its stamp equals the descriptor's log_epoch_,
   // so clearing between transactions is a single counter increment, never a
@@ -297,9 +292,11 @@ class TxDescriptor {
       }
     }
 
-    // Insert a key known to be absent.  Returns true when the table grew
-    // (so callers can count rehashes).
-    bool insert(const void* key, std::uint32_t idx) {
+    // Insert or overwrite: the redo log is append-only (repeated writes to
+    // one word coexist in it), so an index hit must be redirected at the
+    // newest entry.  Returns true when the table grew (so callers can count
+    // rehashes).
+    bool upsert(const void* key, std::uint32_t idx) {
       bool grew = false;
       if (slots_.empty()) {
         grow(kInitialSlots);
@@ -308,9 +305,18 @@ class TxDescriptor {
         grow((mask_ + 1) * 2);
         grew = true;
       }
-      place(key, idx);
-      ++live_;
-      return grew;
+      for (std::uint32_t h = hash(key) & mask_;; h = (h + 1) & mask_) {
+        Slot& s = slots_[h];
+        if (s.stamp != epoch_) {
+          s = Slot{key, idx, epoch_};
+          ++live_;
+          return grew;
+        }
+        if (s.key == key) {
+          s.idx = idx;
+          return grew;
+        }
+      }
     }
 
    private:
@@ -368,11 +374,19 @@ class TxDescriptor {
   [[nodiscard]] bool orec_locked_by_me(OrecWord w) const noexcept {
     return orec_is_locked(w) && orec_owner_slot(w) == slot_;
   }
-  [[nodiscard]] LockEntry* find_lock(const Orec* o) noexcept;
   [[nodiscard]] RedoEntry* find_redo(
       const std::atomic<std::uint64_t>* addr) noexcept;
 
-  // Append to the lock set and mirror the entry into the lock index.
+  // Index every live redo entry once the write set outgrows the linear scan.
+  void build_redo_index();
+
+  // Bounded, jittered wait for a locked orec during commit-time acquisition
+  // (the "polite" alternative to abort-on-sight).  Returns the last word
+  // observed -- still locked means the wait budget ran out.
+  [[nodiscard]] OrecWord wait_for_orec_unlock(Orec& o) noexcept;
+
+  // Append to the lock set (ownership itself is recorded in the orec word,
+  // so no index is maintained).
   void note_lock(Orec* o, OrecWord prior);
 
   void reset_logs() noexcept;
@@ -409,6 +423,9 @@ class TxDescriptor {
   std::vector<LockEntry> lock_set_;
   std::vector<UndoEntry> undo_log_;
   std::vector<RedoEntry> redo_log_;
+  // Commit-time acquisition scratch: the write set's orecs, deduped and
+  // sorted into a global acquisition order (reused across transactions).
+  std::vector<Orec*> acquire_scratch_;
   std::vector<std::function<void()>> commit_handlers_;
   std::vector<std::function<void()>> abort_handlers_;
   std::vector<BinarySemaphore*> wake_batch_;
@@ -422,7 +439,14 @@ class TxDescriptor {
   std::uint64_t log_epoch_ = 0;
   std::uint64_t epoch_tag_ = 0;
   LogIndex redo_index_;
-  LogIndex lock_index_;
+  // find_redo scans the log linearly until it holds this many entries, then
+  // builds redo_index_ once and switches to O(1) lookups.
+  static constexpr std::size_t kRedoIndexThreshold = 16;
+  // Commit-time acquisition walks the log directly (duplicates skipped by
+  // the own-lock check) until the write set is this large; beyond it the
+  // stripes are deduped and sorted into a global acquisition order first.
+  static constexpr std::size_t kSortedAcquireThreshold = 64;
+  bool redo_indexed_ = false;
 
   // HTM read footprint for the current attempt.  Counted per instrumented
   // read (pre-dedup): the emulated capacity models a footprint-limited
@@ -444,16 +468,18 @@ class TxDescriptor {
   std::uint64_t txn_begin_ticks_ = 0;
 
   Stats stats_;
+  ContentionManager cm_;
 };
-
-inline TxDescriptor::LockEntry* TxDescriptor::find_lock(
-    const Orec* o) noexcept {
-  const std::uint32_t i = lock_index_.find(o);
-  return i == LogIndex::kNpos ? nullptr : &lock_set_[i];
-}
 
 inline TxDescriptor::RedoEntry* TxDescriptor::find_redo(
     const std::atomic<std::uint64_t>* addr) noexcept {
+  if (!redo_indexed_) {
+    // Small write set: scan newest-first (read-after-write usually targets
+    // a recent store; entries are unique per address).
+    for (auto it = redo_log_.rbegin(); it != redo_log_.rend(); ++it)
+      if (it->addr == addr) return &*it;
+    return nullptr;
+  }
   const std::uint32_t i = redo_index_.find(addr);
   return i == LogIndex::kNpos ? nullptr : &redo_log_[i];
 }

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "tm/cm.h"
 #include "tm/descriptor.h"
 #include "tm/registry.h"
 
@@ -22,7 +23,10 @@ Stats& Stats::operator-=(const Stats& o) noexcept {
 std::string Stats::to_string() const {
   std::ostringstream os;
   os << "commits=" << commits << " (ro=" << ro_commits << ", serial="
-     << serial_commits << ") aborts=" << aborts << " reads=" << reads
+     << serial_commits << ") aborts=" << aborts << " (conflict=" << aborts_conflict
+     << ", capacity=" << aborts_capacity << ", syscall=" << aborts_syscall
+     << ", explicit=" << aborts_explicit
+     << ", retry_wait=" << aborts_retry_wait << ") reads=" << reads
      << " writes=" << writes << " extensions=" << extensions
      << " serial_fallbacks=" << serial_fallbacks
      << " htm_capacity_aborts=" << htm_capacity_aborts
@@ -32,7 +36,10 @@ std::string Stats::to_string() const {
      << " dedup_hits=" << read_dedup_hits
      << " dedup_appends=" << read_dedup_appends
      << " wake_batches=" << wake_batches
-     << " deferred_wakes=" << deferred_wakes;
+     << " deferred_wakes=" << deferred_wakes
+     << " clock_cas_reuses=" << clock_cas_reuses << " cm_waits=" << cm_waits
+     << " cm_backoffs=" << cm_backoffs
+     << " cm_serial_escalations=" << cm_serial_escalations;
   return os.str();
 }
 
@@ -42,6 +49,11 @@ Stats stats_snapshot() {
   return total;
 }
 
-void stats_reset() { registry().reset_stats(); }
+void stats_reset() {
+  registry().reset_stats();
+  // Benchmark phases and tests expect a reset to restore the full HTM
+  // attempt budget, not inherit fallback pressure from the previous phase.
+  cm_reset_htm_hysteresis();
+}
 
 }  // namespace tmcv::tm

@@ -30,6 +30,21 @@ struct Stats {
   std::uint64_t htm_chaos_aborts = 0;  // injected asynchronous aborts
   std::uint64_t handlers_run = 0;      // onCommit handlers executed
 
+  // Abort-reason breakdown (sums to `aborts`).
+  std::uint64_t aborts_conflict = 0;    // validation/acquisition conflicts
+  std::uint64_t aborts_capacity = 0;    // HTM capacity overflow
+  std::uint64_t aborts_syscall = 0;     // syscall fence in hardware
+  std::uint64_t aborts_explicit = 0;    // user-directed retry_txn
+  std::uint64_t aborts_retry_wait = 0;  // retry_wait self-aborts
+
+  // Contention-management instrumentation.
+  std::uint64_t clock_cas_reuses = 0;       // GV4 adopted (pass-on-failure)
+                                            // commit timestamps
+  std::uint64_t cm_waits = 0;               // polite waits on locked orecs
+  std::uint64_t cm_backoffs = 0;            // inter-retry backoff episodes
+  std::uint64_t cm_serial_escalations = 0;  // serial fallbacks forced by the
+                                            // conflict-streak limit
+
   // Fast-path instrumentation (log index, wake batching).
   std::uint64_t log_index_rehashes = 0;  // redo/lock index growth events
   std::uint64_t handlers_registered = 0; // deferred onCommit handler allocs
@@ -63,6 +78,15 @@ struct Stats {
     fn("htm_syscall_aborts", &Stats::htm_syscall_aborts);
     fn("htm_chaos_aborts", &Stats::htm_chaos_aborts);
     fn("handlers_run", &Stats::handlers_run);
+    fn("aborts_conflict", &Stats::aborts_conflict);
+    fn("aborts_capacity", &Stats::aborts_capacity);
+    fn("aborts_syscall", &Stats::aborts_syscall);
+    fn("aborts_explicit", &Stats::aborts_explicit);
+    fn("aborts_retry_wait", &Stats::aborts_retry_wait);
+    fn("clock_cas_reuses", &Stats::clock_cas_reuses);
+    fn("cm_waits", &Stats::cm_waits);
+    fn("cm_backoffs", &Stats::cm_backoffs);
+    fn("cm_serial_escalations", &Stats::cm_serial_escalations);
     fn("log_index_rehashes", &Stats::log_index_rehashes);
     fn("handlers_registered", &Stats::handlers_registered);
     fn("deferred_wakes", &Stats::deferred_wakes);

@@ -14,6 +14,8 @@
 
 #include <sched.h>
 
+#include "util/rng.h"
+
 namespace tmcv {
 
 inline void cpu_relax() noexcept {
@@ -28,18 +30,32 @@ inline void cpu_relax() noexcept {
 class Backoff {
  public:
   // After `yield_after` escalations every wait becomes a sched_yield, which is
-  // mandatory for forward progress on oversubscribed machines.
-  explicit Backoff(std::uint32_t yield_after = 6) noexcept
-      : yield_after_(yield_after) {}
+  // mandatory for forward progress on oversubscribed machines.  A nonzero
+  // `seed` fixes the jitter stream (tests); 0 self-seeds from the instance
+  // address so distinct waiters draw distinct streams.
+  explicit Backoff(std::uint32_t yield_after = 6,
+                   std::uint64_t seed = 0) noexcept
+      : yield_after_(yield_after),
+        rng_(seed != 0 ? seed
+                       : static_cast<std::uint64_t>(
+                             reinterpret_cast<std::uintptr_t>(this)) ^
+                             0x9e3779b97f4a7c15ULL) {}
 
-  void wait() noexcept {
+  // One backoff step.  Spin waits draw uniformly from [1, 2^round]: the
+  // expected wait still grows geometrically, but simultaneous waiters no
+  // longer retry in lockstep (the deterministic 1<<round schedule made every
+  // collision repeat as another collision -- herding).  Returns the spin
+  // count taken, 0 when the step escalated to sched_yield.
+  std::uint32_t wait() noexcept {
     if (round_ >= yield_after_) {
       sched_yield();
-      return;
+      return 0;
     }
-    const std::uint32_t spins = 1u << round_;
+    const std::uint32_t spins =
+        1u + static_cast<std::uint32_t>(rng_.next() & ((1u << round_) - 1u));
     for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
     ++round_;
+    return spins;
   }
 
   void reset() noexcept { round_ = 0; }
@@ -49,6 +65,7 @@ class Backoff {
  private:
   std::uint32_t yield_after_;
   std::uint32_t round_ = 0;
+  SplitMix64 rng_;
 };
 
 }  // namespace tmcv

@@ -115,6 +115,38 @@ TEST(Backoff, EscalatesToYield) {
   EXPECT_EQ(b.rounds(), 0u);
 }
 
+TEST(Backoff, YieldCapReturnsZeroAndHoldsRound) {
+  // Past the cap every step is a sched_yield (returns 0) and the round
+  // counter stops advancing -- a long waiter never overflows the shift.
+  Backoff b(2, /*seed=*/42);
+  EXPECT_GT(b.wait(), 0u);  // round 0: spin
+  EXPECT_GT(b.wait(), 0u);  // round 1: spin
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(b.wait(), 0u);  // yields from here on
+    EXPECT_EQ(b.rounds(), 2u);
+  }
+}
+
+TEST(Backoff, JitteredSpinsAreBoundedAndDesynchronized) {
+  // Spin counts draw uniformly from [1, 2^round]; two waiters with
+  // different seeds must not produce identical schedules (the lockstep
+  // herding the jitter exists to break).
+  Backoff a(/*yield_after=*/12, /*seed=*/1);
+  Backoff b(/*yield_after=*/12, /*seed=*/2);
+  bool differ = false;
+  for (std::uint32_t round = 0; round < 12; ++round) {
+    const std::uint32_t bound = 1u << round;
+    const std::uint32_t sa = a.wait();
+    const std::uint32_t sb = b.wait();
+    EXPECT_GE(sa, 1u);
+    EXPECT_LE(sa, bound);
+    EXPECT_GE(sb, 1u);
+    EXPECT_LE(sb, bound);
+    differ = differ || sa != sb;
+  }
+  EXPECT_TRUE(differ);
+}
+
 TEST(Cpu, OnlineCpusAtLeastOne) { EXPECT_GE(online_cpus(), 1u); }
 
 TEST(Cpu, RtmQueryDoesNotCrash) {

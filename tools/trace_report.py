@@ -24,6 +24,7 @@ KNOWN_EVENTS = {
     "txn.commit", "txn.abort", "txn.serial_fallback",
     "cv.wait", "cv.notify",
     "sem.wait", "sem.post", "sem.post_batch",
+    "cm.backoff",
 }
 
 REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid")
