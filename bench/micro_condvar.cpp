@@ -23,8 +23,21 @@
 #include "core/legacy_cv.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sync/semaphore.h"
 #include "tm/api.h"
 #include "util/timing.h"
+
+// The --json-herd mode A/Bs against a pre-wake-path-overhaul build of this
+// same source (spin-then-park + wait-morphing landed together), so the new
+// knobs and counters are feature-tested rather than assumed.
+#if __has_include("sync/wait_morph.h")
+#include "sync/spin.h"
+#include "sync/wait_morph.h"
+#include "sync/wake_stats.h"
+#define TMCV_BENCH_HAVE_WAKE_PATH 1
+#else
+#define TMCV_BENCH_HAVE_WAKE_PATH 0
+#endif
 
 namespace {
 
@@ -272,13 +285,169 @@ int run_json_mode(const char* out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --json-herd mode: wake-path A/B for BENCH_micro_condvar_herd.json
+// ---------------------------------------------------------------------------
+//
+// Two phases exercising the lock-based facade (no transactions), where the
+// wake-path overhaul lives:
+//
+//   herd      -- kWaiters threads park on tmcv::condition_variable under one
+//                std::mutex; the notifier bumps a round counter and
+//                notify_alls UNDER the lock (the classic herd anti-pattern).
+//                With wait-morphing the scoped notify makes one waiter
+//                runnable per unlock instead of stampeding the mutex.
+//                wake_to_run_per_sec counts waiters through their critical
+//                sections per second.
+//
+//   pingpong  -- two threads alternating on a pair of BinarySemaphores with
+//                the spin budget pinned: the uncontended wake path, where
+//                adaptive spinning should convert parks into parks_avoided
+//                (the CI perf-smoke asserts parks_avoided > 0 here).
+int run_json_herd_mode(const char* out_path) {
+  constexpr int kWaiters = 8;
+  constexpr int kRounds = 2000;
+
+  std::mutex m;
+  condition_variable cv;
+  std::uint64_t round = 0;
+  bool stop = false;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      std::uint64_t seen = 0;
+      std::unique_lock<std::mutex> lk(m);
+      while (!stop) {
+        while (round == seen && !stop) cv.wait(lk);
+        seen = round;
+      }
+    });
+  }
+  const auto wait_for_full_queue = [&] {
+    while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+  };
+
+  wait_for_full_queue();  // warm-up: everyone parked once
+#if TMCV_BENCH_HAVE_WAKE_PATH
+  const WakeStats wake_before = wake_stats_snapshot();
+#endif
+  tmcv::Stopwatch sw;
+  for (int r = 0; r < kRounds; ++r) {
+    {
+      std::unique_lock<std::mutex> lk(m);
+      ++round;
+#if TMCV_BENCH_HAVE_WAKE_PATH
+      cv.notify_all(lk);  // scoped: morph the herd onto the lock's chain
+#else
+      cv.notify_all();  // pre-overhaul facade: herd wake under the lock
+#endif
+    }
+    wait_for_full_queue();
+  }
+  const double herd_elapsed = sw.elapsed_seconds();
+  {
+    std::unique_lock<std::mutex> lk(m);
+    stop = true;
+    cv.notify_all();
+  }
+  for (auto& th : waiters) th.join();
+
+  // Phase 2: uncontended semaphore ping-pong.  The budget is pinned to the
+  // default explicitly so the CI parks_avoided > 0 assertion holds even if
+  // TMCV_NO_SPIN leaked into the environment.
+  constexpr int kPingRounds = 20000;
+#if TMCV_BENCH_HAVE_WAKE_PATH
+  const unsigned saved_budget = spin_budget();
+  set_spin_budget(16);
+#endif
+  BinarySemaphore ping, pong;
+  std::thread partner([&] {
+    for (int i = 0; i < kPingRounds; ++i) {
+      ping.wait();
+      pong.post();
+    }
+  });
+  tmcv::Stopwatch sw2;
+  for (int i = 0; i < kPingRounds; ++i) {
+    ping.post();
+    pong.wait();
+  }
+  const double ping_elapsed = sw2.elapsed_seconds();
+  partner.join();
+#if TMCV_BENCH_HAVE_WAKE_PATH
+  set_spin_budget(saved_budget);
+  WakeStats wd = wake_stats_snapshot();
+  wd -= wake_before;
+  const int have_wake_path = 1;
+  const int morphing = wait_morphing() ? 1 : 0;
+#else
+  struct {
+    std::uint64_t spin_attempts = 0, spin_rounds = 0, parks_avoided = 0,
+                  parks = 0, requeues = 0, handoffs = 0;
+  } wd;
+  const int have_wake_path = 0;
+  const int morphing = 0;
+#endif
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"benchmark\": \"micro_condvar_herd\",\n"
+      "  \"have_wake_path\": %d,\n"
+      "  \"wait_morphing\": %d,\n"
+      "  \"herd\": {\n"
+      "    \"waiters\": %d,\n"
+      "    \"rounds\": %d,\n"
+      "    \"wake_to_run_per_sec\": %.0f,\n"
+      "    \"notify_all_per_sec\": %.0f\n"
+      "  },\n"
+      "  \"pingpong\": {\n"
+      "    \"rounds\": %d,\n"
+      "    \"roundtrips_per_sec\": %.0f\n"
+      "  },\n"
+      "  \"wake\": {\n"
+      "    \"spin_attempts\": %llu,\n"
+      "    \"spin_rounds\": %llu,\n"
+      "    \"parks_avoided\": %llu,\n"
+      "    \"parks\": %llu,\n"
+      "    \"requeues\": %llu,\n"
+      "    \"handoffs\": %llu\n"
+      "  }\n"
+      "}\n",
+      have_wake_path, morphing, kWaiters, kRounds,
+      double(kWaiters) * kRounds / herd_elapsed, kRounds / herd_elapsed,
+      kPingRounds, kPingRounds / ping_elapsed,
+      static_cast<unsigned long long>(wd.spin_attempts),
+      static_cast<unsigned long long>(wd.spin_rounds),
+      static_cast<unsigned long long>(wd.parks_avoided),
+      static_cast<unsigned long long>(wd.parks),
+      static_cast<unsigned long long>(wd.requeues),
+      static_cast<unsigned long long>(wd.handoffs));
+  std::fclose(f);
+  std::printf("wrote %s (wake_to_run/sec=%.0f, parks_avoided=%llu)\n",
+              out_path, double(kWaiters) * kRounds / herd_elapsed,
+              static_cast<unsigned long long>(wd.parks_avoided));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0)
       return run_json_mode(i + 1 < argc ? argv[i + 1]
                                         : "BENCH_micro_condvar.json");
+    if (std::strcmp(argv[i], "--json-herd") == 0)
+      return run_json_herd_mode(i + 1 < argc
+                                    ? argv[i + 1]
+                                    : "BENCH_micro_condvar_herd.json");
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

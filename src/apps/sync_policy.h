@@ -111,6 +111,11 @@ struct TmCvPolicy {
 
   template <typename F>
   static auto critical(Region& m, F&& fn) {
+    // Declared before the guard so it outlives the unlock: notifies issued
+    // inside the section morph onto this mutex's relay chain
+    // (sync/wait_morph.h), waking one waiter per unlock instead of the
+    // whole herd.
+    WakeHandoffScope scope(m);
     std::lock_guard<Region> guard(m);
     return fn();
   }
@@ -122,6 +127,7 @@ struct TmCvPolicy {
 
   template <typename F>
   static void execute_or_wait(Region& m, CondVar& cv, F&& fn) {
+    WakeHandoffScope scope(m);  // fn may notify; see critical()
     std::unique_lock<Region> lock(m);
     while (!fn()) cv.wait(lock);  // no spurious wakeups; loop handles
                                   // oblivious ones under notify_all

@@ -43,6 +43,47 @@ inline void stamp_victim(detail::WaitNode* victim) noexcept {
 inline void stamp_victim(detail::WaitNode*) noexcept {}
 #endif
 
+// Scratch for the multi-victim notifies: victims are collected inside the
+// queue transaction (cleared at the top of the closure, so re-execution is
+// safe) and dispatched after it.  Reused across calls -- no allocation in
+// steady state.
+thread_local std::vector<detail::WaitNode*> t_victims;
+thread_local std::vector<BinarySemaphore*> t_victim_sems;
+
+// Wake the collected victims by the cheapest route that fits the caller's
+// context:
+//
+//   * Ambient transaction: every post joins the descriptor's wake batch, so
+//     an abort discards them (§3.2) -- unchanged from the pre-morph design.
+//   * Lock scope + morphing on + a herd (>1 victim): post the first victim
+//     and park the rest on the lock's relay chain.  The first victim's
+//     morph key is set BEFORE its post and the rest are requeued BEFORE the
+//     post too: once the first waiter runs it must find the chain fully
+//     formed, or a late requeue could strand a waiter (lost wakeup).
+//   * Otherwise: one coalesced post_batch (publish all tokens, then wake).
+void dispatch_wakes(std::vector<detail::WaitNode*>& victims) {
+  if (victims.empty()) return;
+  if (tm::in_txn()) {
+    for (detail::WaitNode* v : victims) tm::defer_wake(&v->sem);
+    return;
+  }
+  const void* scope = current_lock_scope();
+  if (scope != nullptr && victims.size() > 1 && wait_morphing()) {
+    detail::WaitNode* first = victims[0];
+    // The directly-woken waiter starts the relay, so it carries the key
+    // too; without it the second victim would never be posted.
+    first->morph.key.store(scope, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < victims.size(); ++i)
+      morph_requeue(scope, &victims[i]->morph);
+    first->sem.post();
+    return;
+  }
+  t_victim_sems.clear();
+  t_victim_sems.reserve(victims.size());
+  for (detail::WaitNode* v : victims) t_victim_sems.push_back(&v->sem);
+  BinarySemaphore::post_batch(t_victim_sems.data(), t_victim_sems.size());
+}
+
 }  // namespace
 
 void CondVar::register_self() {
@@ -65,6 +106,24 @@ CondVarStats condvar_stats_aggregate() {
   CondVarStats s = r.retired;
   for (const CondVar* cv : r.live) s += cv->stats();
   return s;
+}
+
+CondVar::CommitSleep& CondVar::commit_sleep_stash() noexcept {
+  thread_local CommitSleep cs;
+  return cs;
+}
+
+void CondVar::commit_sleep_thunk(void* ctx) noexcept {
+  CommitSleep& cs = *static_cast<CommitSleep*>(ctx);
+  cs.node->sem.wait();
+  cs.cv->finish_wait(*cs.node, cs.t0);
+  // wait_at_commit never re-acquires a lock, so relay immediately (same
+  // contract as wait_final).
+  morph_consume(cs.node->morph);
+}
+
+void CondVar::clear_enqueued_thunk(void* ctx) noexcept {
+  static_cast<detail::WaitNode*>(ctx)->enqueued = false;
 }
 
 void CondVar::enqueue_self(detail::WaitNode& node) {
@@ -144,9 +203,9 @@ bool CondVar::notify_one() {
 }
 
 std::size_t CondVar::notify_all() {
-  std::size_t count = 0;
+  std::vector<detail::WaitNode*>& victims = t_victims;
   tm::atomically([&] {
-    count = 0;
+    victims.clear();  // the closure may re-execute
     detail::WaitNode* sn = head_.load();
     if (sn == nullptr) return;
     head_.store(nullptr);
@@ -156,34 +215,34 @@ std::size_t CondVar::notify_all() {
     // are reachable only because their owners' enqueue transactions
     // committed and no intervening notify removed them, so no owner can be
     // at WAIT line 1 and no race with its plain store is possible.  Victims
-    // join the descriptor's wake batch -- one coalesced post_batch at
-    // commit, O(1) handler allocations for any N.
+    // are collected here and dispatched after the transaction, where the
+    // caller's context (ambient txn / lock scope / naked) picks the route.
     while (sn != nullptr) {
       detail::WaitNode* node = sn;
       sn = sn->next.load();
       stamp_victim(node);
-      tm::defer_wake(&node->sem);
-      ++count;
+      victims.push_back(node);
     }
   });
+  dispatch_wakes(victims);
+  const std::size_t count = victims.size();
   count_notify(notify_all_calls_, count);
   return count;
 }
 
 std::size_t CondVar::notify_n(std::size_t n) {
-  std::size_t count = 0;
+  std::vector<detail::WaitNode*>& victims = t_victims;
   tm::atomically([&] {
-    count = 0;
+    victims.clear();  // the closure may re-execute
     if (n == 0) return;
     if (policy_ == WakePolicy::FIFO) {
       // FIFO victims are head pops: O(1) each.
-      while (count < n) {
+      while (victims.size() < n) {
         detail::WaitNode* victim = head_.load();
         if (victim == nullptr) break;
         unlink(nullptr, victim);
         stamp_victim(victim);
-        tm::defer_wake(&victim->sem);
-        ++count;
+        victims.push_back(victim);
       }
       return;
     }
@@ -209,12 +268,11 @@ std::size_t CondVar::notify_n(std::size_t n) {
       // Everyone goes: drain the whole queue, most recent first.
       for (std::size_t p = len; p > 0; --p) {
         stamp_victim(ring[p - 1]);
-        tm::defer_wake(&ring[p - 1]->sem);
+        victims.push_back(ring[p - 1]);
       }
       head_.store(nullptr);
       tail_.store(nullptr);
       size_.store(0);
-      count = len;
       return;
     }
     // The ring holds positions len-n-1 .. len-1: the new tail followed by
@@ -222,13 +280,14 @@ std::size_t CondVar::notify_n(std::size_t n) {
     detail::WaitNode* boundary = ring[(len - n - 1) % cap];
     for (std::size_t p = len; p > len - n; --p) {
       stamp_victim(ring[(p - 1) % cap]);
-      tm::defer_wake(&ring[(p - 1) % cap]->sem);
+      victims.push_back(ring[(p - 1) % cap]);
     }
     boundary->next.store(nullptr);
     tail_.store(boundary);
     size_.store(len - n);
-    count = n;
   });
+  dispatch_wakes(victims);
+  const std::size_t count = victims.size();
   count_notify(notify_all_calls_, count);
   return count;
 }

@@ -25,6 +25,7 @@
 #include "obs/hooks.h"
 #include "sync/semaphore.h"
 #include "sync/sync_context.h"
+#include "sync/wait_morph.h"
 #include "tm/api.h"
 #include "tm/txn_sync.h"
 #include "tm/var.h"
@@ -110,6 +111,11 @@ struct WaitNode {
   // this node, consumed by the owner after the semaphore wait.  A stamp
   // from an aborted selection is overwritten or cleared at the next wait.
   std::atomic<std::uint64_t> notify_ticks{0};
+  // Wait-morphing membership (see sync/wait_morph.h): a notifier running
+  // under a lock scope defers this waiter onto the lock's relay chain via
+  // this node instead of posting sem directly.  morph.sem always points at
+  // `sem` above (set in prepare_node).
+  MorphWaiter morph;
 };
 
 WaitNode& my_wait_node() noexcept;
@@ -146,7 +152,7 @@ class CondVar {
     tm::syscall_fence();         // sleeping would abort a hardware txn
     node.sem.wait();             // line 10: block until notified
     finish_wait(node, t0);
-    run_continuation(sync, std::forward<Cont>(cont));
+    run_continuation(sync, node, std::forward<Cont>(cont));
   }
 
   // ---- WAIT, traditional style (§4.1, §4.3) ----
@@ -163,7 +169,7 @@ class CondVar {
     tm::syscall_fence();
     node.sem.wait();
     finish_wait(node, t0);
-    sync.begin_block();          // line 11: re-lock / begin continuation txn
+    reacquire_and_relay(sync, node);  // line 11: re-lock / begin cont. txn
   }
 
   // ---- Timed WAIT (extension; traditional style) ----
@@ -202,7 +208,9 @@ class CondVar {
       node.enqueued = false;
       timeouts_.fetch_add(1, std::memory_order_relaxed);
     }
-    sync.begin_block();
+    // On the timeout path the morph key is never set, so the relay in here
+    // is a single relaxed exchange.
+    reacquire_and_relay(sync, node);
     return notified;
   }
 
@@ -218,6 +226,8 @@ class CondVar {
     tm::syscall_fence();
     node.sem.wait();
     finish_wait(node, t0);
+    // No re-acquire by contract, so nothing to pace against: relay at once.
+    morph_consume(node.morph);
     if (sync.is_transactional()) tm::descriptor().mark_split_done();
   }
 
@@ -233,13 +243,17 @@ class CondVar {
     detail::WaitNode& node = prepare_node(tag);
     const std::uint64_t t0 = wait_begin_ticks();
     enqueue_self(node);
-    tm::on_commit([this, &node, t0] {
-      node.sem.wait();
-      finish_wait(node, t0);
-    });
+    // The sleep is parked in a thread_local stash and registered through
+    // the inline-slot handler path: no std::function, no allocation.  One
+    // stash suffices because a second wait_at_commit in the same
+    // transaction would trip prepare_node's already-waiting assertion
+    // before it could overwrite this one.
+    CommitSleep& cs = commit_sleep_stash();
+    cs = CommitSleep{this, &node, t0};
+    tm::on_commit_fn(&CondVar::commit_sleep_thunk, &cs);
     // If the transaction aborts, the enqueue rolls back and a stale node
     // must not linger flagged.
-    tm::on_abort([&node] { node.enqueued = false; });
+    tm::on_abort_fn(&CondVar::clear_enqueued_thunk, &node);
   }
 
   // ---- NOTIFYONE (Algorithm 5) ----
@@ -363,12 +377,15 @@ class CondVar {
     // Inside an ambient transaction, the enqueue (or the early commit that
     // follows it) can abort and re-run the whole closure including this
     // call; the rollback must clear the owner flag along with the queue
-    // state.
-    if (tm::in_txn()) tm::on_abort([&node] { node.enqueued = false; });
+    // state.  Registered through the inline-slot path: the node pointer is
+    // the whole context, so no allocation.
+    if (tm::in_txn())
+      tm::on_abort_fn(&CondVar::clear_enqueued_thunk, &node);
     // Line 1 of WAIT: unsynchronized by design -- the node is privatized
     // (unreachable from any queue) until the enqueue transaction commits.
     node.next.store_plain(nullptr);
     node.tag.store_plain(tag);
+    node.morph.sem = &node.sem;
     return node;
   }
 
@@ -377,6 +394,20 @@ class CondVar {
   // unsynchronized contexts it is its own small transaction.
   void enqueue_self(detail::WaitNode& node);
 
+  // The wait_at_commit sleep, parked for the inline-slot handler path.  The
+  // stash is thread_local (one per would-be sleeper) and must stay valid
+  // until the outermost commit runs the handler -- guaranteed because the
+  // registering thread is the one that commits.
+  struct CommitSleep {
+    CondVar* cv;
+    detail::WaitNode* node;
+    std::uint64_t t0;
+  };
+  [[nodiscard]] static CommitSleep& commit_sleep_stash() noexcept;
+  static void commit_sleep_thunk(void* ctx) noexcept;
+  // on_abort context is just the node: clear its owner flag.
+  static void clear_enqueued_thunk(void* ctx) noexcept;
+
   // Remove `node` given its predecessor (transactional context required).
   void unlink(detail::WaitNode* prev, detail::WaitNode* node);
 
@@ -384,16 +415,37 @@ class CondVar {
   // already dequeued it (timed-wait race resolution).
   bool try_remove_self(detail::WaitNode& node);
 
+  // Re-establish the caller's synchronization block and relay any pending
+  // wait-morph chain.  Lock-based contexts relay AFTER re-acquiring -- the
+  // pacing that turns a notify_all herd into a lock-speed relay (at most
+  // one notified waiter is runnable per unlock).  Transactional contexts
+  // have no lock to contend, and a semaphore post is a syscall that must
+  // not run inside an optimistic transaction, so they relay first.
+  static void reacquire_and_relay(SyncContext& sync,
+                                  detail::WaitNode& node) {
+    if (sync.is_transactional()) {
+      morph_consume(node.morph);
+      sync.begin_block();
+    } else {
+      sync.begin_block();
+      morph_consume(node.morph);
+    }
+  }
+
   template <typename Cont>
-  void run_continuation(SyncContext& sync, Cont&& cont) {
+  void run_continuation(SyncContext& sync, detail::WaitNode& node,
+                        Cont&& cont) {
     if (sync.is_transactional()) {
       // Lines 11-13 under TM: a fresh transaction with its own retry loop,
       // so an abort re-runs only the continuation (never the first half).
+      // Relay first: see reacquire_and_relay for why.
+      morph_consume(node.morph);
       auto& d = tm::descriptor();
       tm::atomically(d.backend(), [&] { cont(); });
       d.mark_split_done();
     } else {
       sync.begin_block();
+      morph_consume(node.morph);
       cont();
       sync.end_block();
     }

@@ -202,5 +202,9 @@ inline LatencyHistogram& hist_cm_backoff() noexcept {
   static LatencyHistogram h;
   return h;
 }
+inline LatencyHistogram& hist_spin_park() noexcept {
+  static LatencyHistogram h;
+  return h;
+}
 
 }  // namespace tmcv::obs

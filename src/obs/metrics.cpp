@@ -14,6 +14,7 @@ MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot s;
   s.tm = tm::stats_snapshot();
   s.cv = condvar_stats_aggregate();
+  s.wake = wake_stats_snapshot();
   const TraceCounts tc = trace_counts();
   s.trace_events = tc.recorded;
   s.trace_dropped = tc.dropped;
@@ -23,6 +24,7 @@ MetricsSnapshot metrics_snapshot() {
   s.txn_abort_ns = hist_txn_abort().snapshot();
   s.serial_stall_ns = hist_serial_stall().snapshot();
   s.cm_backoff_ns = hist_cm_backoff().snapshot();
+  s.spin_park_ns = hist_spin_park().snapshot();
   return s;
 }
 
@@ -31,6 +33,7 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
   MetricsSnapshot d = now;
   d.tm -= before.tm;
   d.cv -= before.cv;
+  d.wake -= before.wake;
   d.trace_events -= before.trace_events;
   d.trace_dropped -= before.trace_dropped;
   d.cv_wait_ns -= before.cv_wait_ns;
@@ -39,6 +42,7 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
   d.txn_abort_ns -= before.txn_abort_ns;
   d.serial_stall_ns -= before.serial_stall_ns;
   d.cm_backoff_ns -= before.cm_backoff_ns;
+  d.spin_park_ns -= before.spin_park_ns;
   return d;
 }
 
@@ -58,6 +62,7 @@ void for_each_hist(const MetricsSnapshot& s,
   fn({"txn_abort_ns", &s.txn_abort_ns});
   fn({"serial_stall_ns", &s.serial_stall_ns});
   fn({"cm_backoff_ns", &s.cm_backoff_ns});
+  fn({"spin_park_ns", &s.spin_park_ns});
 }
 
 }  // namespace
@@ -83,6 +88,14 @@ std::string to_json(const MetricsSnapshot& s) {
   CondVarStats::for_each_field([&](const char* name,
                                    std::uint64_t CondVarStats::*field) {
     os << (first ? "" : ",\n") << "    \"" << name << "\": " << s.cv.*field;
+    first = false;
+  });
+  os << "\n  },\n  \"wake\": {\n";
+  first = true;
+  WakeStats::for_each_field([&](const char* name,
+                                std::uint64_t WakeStats::*field) {
+    os << (first ? "" : ",\n") << "    \"" << name
+       << "\": " << s.wake.*field;
     first = false;
   });
   os << "\n  },\n  \"trace\": {\n    \"events\": " << s.trace_events
@@ -116,6 +129,11 @@ std::string to_prometheus(const MetricsSnapshot& s) {
                                    std::uint64_t CondVarStats::*field) {
     os << "# TYPE tmcv_cv_" << name << "_total counter\n"
        << "tmcv_cv_" << name << "_total " << s.cv.*field << "\n";
+  });
+  WakeStats::for_each_field([&](const char* name,
+                                std::uint64_t WakeStats::*field) {
+    os << "# TYPE tmcv_wake_" << name << "_total counter\n"
+       << "tmcv_wake_" << name << "_total " << s.wake.*field << "\n";
   });
   os << "# TYPE tmcv_trace_events gauge\ntmcv_trace_events "
      << s.trace_events << "\n"

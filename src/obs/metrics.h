@@ -20,6 +20,7 @@
 #include "core/condvar.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "sync/wake_stats.h"
 #include "tm/stats.h"
 
 namespace tmcv::obs {
@@ -27,6 +28,7 @@ namespace tmcv::obs {
 struct MetricsSnapshot {
   tm::Stats tm;        // folded over live + retired TM threads
   CondVarStats cv;     // folded over live + destroyed condition variables
+  WakeStats wake;      // process-wide spin/park and wait-morph counters
   std::uint64_t trace_events = 0;   // records retained across all rings
   std::uint64_t trace_dropped = 0;  // records lost to ring wraparound
 
@@ -37,6 +39,7 @@ struct MetricsSnapshot {
   HistogramSnapshot serial_stall_ns;  // serial-fallback lock-acquire stall
   HistogramSnapshot cm_backoff_ns;    // CM waits: polite orec wait +
                                       // inter-retry backoff
+  HistogramSnapshot spin_park_ns;     // pre-park spin phase of slow waits
 };
 
 // Capture everything now.

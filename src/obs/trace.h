@@ -53,6 +53,8 @@ enum class Event : std::uint16_t {
                         // (uncontended waits emit nothing by design)
   kSemPost,             // instant: semaphore post
   kSemPostBatch,        // instant: coalesced batch post; arg = batch size
+  kSemSpin,             // complete: pre-park spin phase of a slow wait
+                        // (whether or not it avoided the park)
   kCmBackoff,           // complete: contention-manager wait (polite orec
                         // wait or inter-retry backoff)
   kEventTypeCount,
@@ -77,6 +79,8 @@ enum class Event : std::uint16_t {
       return "sem.post";
     case Event::kSemPostBatch:
       return "sem.post_batch";
+    case Event::kSemSpin:
+      return "sem.spin";
     case Event::kCmBackoff:
       return "cm.backoff";
     case Event::kEventTypeCount:
@@ -93,6 +97,7 @@ enum class Event : std::uint16_t {
     case Event::kSerialFallback:
     case Event::kCvWait:
     case Event::kSemWait:
+    case Event::kSemSpin:
     case Event::kCmBackoff:
       return true;
     default:

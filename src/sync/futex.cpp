@@ -37,7 +37,7 @@ bool futex_wait_for(const std::atomic<std::uint32_t>* addr,
   return !(rc == -1 && errno == ETIMEDOUT);
 }
 
-int futex_wake(const std::atomic<std::uint32_t>* addr, int count) noexcept {
+int futex_wake(std::atomic<std::uint32_t>* addr, int count) noexcept {
   const long woken = sys_futex(
       addr, FUTEX_WAKE_PRIVATE,
       count < 0 ? static_cast<std::uint32_t>(INT_MAX)

@@ -28,6 +28,11 @@ bool futex_wait_for(const std::atomic<std::uint32_t>* addr,
 
 // Wake up to `count` threads blocked in futex_wait on `addr`.
 // Returns the number of threads actually woken.
-int futex_wake(const std::atomic<std::uint32_t>* addr, int count) noexcept;
+//
+// Takes a non-const pointer deliberately: FUTEX_WAKE is the write side of
+// the protocol (it pairs with a store to *addr that the caller just made),
+// and a const-qualified signature would let a wake slip into read-only
+// paths where no such store happened.
+int futex_wake(std::atomic<std::uint32_t>* addr, int count) noexcept;
 
 }  // namespace tmcv

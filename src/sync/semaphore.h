@@ -18,6 +18,7 @@
 
 #include "obs/hooks.h"
 #include "sync/futex.h"
+#include "sync/spin.h"
 #include "util/cacheline.h"
 
 namespace tmcv {
@@ -109,6 +110,25 @@ class Semaphore {
 
  private:
   void wait_slow() noexcept {
+    // Spin before registering as a waiter: a token that arrives mid-spin is
+    // consumed without touching waiters_ at all, so the matching post()
+    // skips its futex_wake too -- the whole exchange stays in user space.
+#if TMCV_TRACE
+    const std::uint64_t s0 = obs::region_begin();
+#endif
+    const bool spun = adaptive_spin([this]() noexcept {
+      return count_.load(std::memory_order_relaxed) > 0;
+    });
+#if TMCV_TRACE
+    if (spin_budget() != 0)
+      obs::region_end(obs::Event::kSemSpin, s0, &obs::hist_spin_park());
+#endif
+    if (spun && try_wait()) {
+      detail::wake_counters().parks_avoided.fetch_add(
+          1, std::memory_order_relaxed);
+      return;
+    }
+    detail::wake_counters().parks.fetch_add(1, std::memory_order_relaxed);
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     for (;;) {
       std::uint32_t c = count_.load(std::memory_order_relaxed);
@@ -212,8 +232,22 @@ class BinarySemaphore {
         if (sems[base + i]->state_.exchange(1, std::memory_order_release) ==
             0)
           need_wake |= 1ull << i;
-      for (std::size_t i = 0; i < m; ++i)
-        if (need_wake & (1ull << i)) futex_wake(&sems[base + i]->state_, 1);
+      // Coalesce wakes that target the same futex word: a batch may list a
+      // semaphore more than once (e.g. a waiter consumed its token and
+      // re-waited between two exchanges above), and one futex_wake(addr, n)
+      // is cheaper than n syscalls to the same address.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!(need_wake & (1ull << i))) continue;
+        std::atomic<std::uint32_t>* addr = &sems[base + i]->state_;
+        int wakes = 1;
+        for (std::size_t j = i + 1; j < m; ++j) {
+          if ((need_wake & (1ull << j)) && &sems[base + j]->state_ == addr) {
+            need_wake &= ~(1ull << j);
+            ++wakes;
+          }
+        }
+        futex_wake(addr, wakes);
+      }
     }
   }
 
@@ -223,6 +257,27 @@ class BinarySemaphore {
 
  private:
   void wait_slow() noexcept {
+    // Adaptive spin-then-park: when the matching post() is imminent (the
+    // ping-pong pattern the paper's per-thread semaphores produce under a
+    // responsive notifier), a bounded spin picks up the token without the
+    // FUTEX_WAIT/FUTEX_WAKE round trip.  The per-thread budget shrinks
+    // toward one probe round when history says waits are long.
+#if TMCV_TRACE
+    const std::uint64_t s0 = obs::region_begin();
+#endif
+    const bool spun = adaptive_spin([this]() noexcept {
+      return state_.load(std::memory_order_relaxed) != 0;
+    });
+#if TMCV_TRACE
+    if (spin_budget() != 0)
+      obs::region_end(obs::Event::kSemSpin, s0, &obs::hist_spin_park());
+#endif
+    if (spun && try_wait()) {
+      detail::wake_counters().parks_avoided.fetch_add(
+          1, std::memory_order_relaxed);
+      return;
+    }
+    detail::wake_counters().parks.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       std::uint32_t one = 1;
       if (state_.compare_exchange_strong(one, 0, std::memory_order_acquire,

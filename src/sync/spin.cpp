@@ -1,0 +1,45 @@
+#include "sync/spin.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tmcv {
+
+namespace {
+
+constexpr unsigned kDefaultSpinBudget = 16;
+
+unsigned initial_spin_budget() noexcept {
+  // TMCV_NO_SPIN set to anything but "0" forces pure park behavior: the
+  // process behaves exactly like the pre-spin implementation, which is the
+  // right call when the machine is oversubscribed or power-constrained.
+  const char* no_spin = std::getenv("TMCV_NO_SPIN");
+  if (no_spin != nullptr && std::strcmp(no_spin, "0") != 0) return 0;
+  return kDefaultSpinBudget;
+}
+
+std::atomic<unsigned>& spin_budget_word() noexcept {
+  static std::atomic<unsigned> budget{initial_spin_budget()};
+  return budget;
+}
+
+}  // namespace
+
+void set_spin_budget(unsigned rounds) noexcept {
+  spin_budget_word().store(rounds, std::memory_order_relaxed);
+}
+
+unsigned spin_budget() noexcept {
+  return spin_budget_word().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+SpinControl& my_spin_control() noexcept {
+  thread_local SpinControl ctl;
+  return ctl;
+}
+
+}  // namespace detail
+
+}  // namespace tmcv

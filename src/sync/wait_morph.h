@@ -1,0 +1,95 @@
+// Wait morphing for lock-based (facade) condition-variable use.
+//
+// A notify_all on the legacy facade wakes every waiter, and each woken
+// thread immediately blocks again on the mutex the wait re-acquires -- the
+// classic thundering herd: N futex wakes, N context switches, N-1 of which
+// park right back on the lock.  Kernel condvars morph those waiters onto
+// the mutex's wait queue (FUTEX_REQUEUE); our waiters sleep on per-thread
+// semaphores, so we morph in user space instead: the notifier wakes ONE
+// waiter and parks the rest on a per-lock deferred list.  Each woken waiter
+// posts the next deferred waiter only after it has re-acquired the lock, so
+// at most one notified waiter is runnable per lock at a time and the herd
+// becomes a relay.
+//
+// The notifier declares "this notify happens under lock L" with a
+// WakeHandoffScope; the scope is consulted only by the thread that entered
+// it, so it is exact (no inference from lock state).  Waiters participate
+// passively: every wait flavor carries a MorphWaiter node and, on wakeup,
+// consumes its morph key (if any) at the point where it holds the lock
+// again, advancing the chain.
+//
+// Token conservation (paper §3.3) is preserved: a notify of k waiters still
+// produces exactly k semaphore posts -- one immediately, and k-1 one at a
+// time as the chain advances.  Disabling morphing mid-flight is safe:
+// set_wait_morphing(false) only stops NEW requeues; waiters already on a
+// deferred list are drained by their predecessors, whose keys are set.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace tmcv {
+
+class BinarySemaphore;
+
+// Intrusive node embedded in each condvar WaitNode.  `next` and `sem` are
+// owned by the sharded deferred table (mutated only under a shard lock);
+// `key` is written by the notifier before the waiter can run and consumed
+// exactly once by the waiter after wakeup.
+struct MorphWaiter {
+  MorphWaiter* next = nullptr;
+  BinarySemaphore* sem = nullptr;
+  std::atomic<const void*> key{nullptr};
+};
+
+// Process-wide switch (default on).  Gates only the requeue decision.
+void set_wait_morphing(bool enabled) noexcept;
+[[nodiscard]] bool wait_morphing() noexcept;
+
+// Identity of the lock the calling thread has declared it holds for notify
+// purposes, or nullptr.  Set/restored by WakeHandoffScope (scopes nest).
+[[nodiscard]] const void* current_lock_scope() noexcept;
+
+// RAII declaration that notifies issued by this thread inside the scope
+// happen under the lock identified by `id` (canonically the mutex address).
+// Cheap: two thread-local stores, no atomics.
+class WakeHandoffScope {
+ public:
+  explicit WakeHandoffScope(const void* id) noexcept;
+  template <typename Mutex>
+  explicit WakeHandoffScope(const Mutex& m) noexcept
+      : WakeHandoffScope(static_cast<const void*>(&m)) {}
+  ~WakeHandoffScope();
+
+  WakeHandoffScope(const WakeHandoffScope&) = delete;
+  WakeHandoffScope& operator=(const WakeHandoffScope&) = delete;
+
+ private:
+  const void* prev_;
+};
+
+// Defer waking `w` (whose `sem` must be set) until a predecessor on lock
+// `key` re-acquires and advances the chain.  Called by the notifier instead
+// of posting w->sem.
+void morph_requeue(const void* key, MorphWaiter* w) noexcept;
+
+// Pop the oldest deferred waiter for `key` and post its semaphore.  Returns
+// false when no waiter is deferred for that lock (chain exhausted).
+bool morph_advance(const void* key) noexcept;
+
+// Number of waiters currently deferred for `key` (test/diagnostic helper;
+// exact only at quiescence).
+[[nodiscard]] std::size_t morph_pending(const void* key) noexcept;
+
+// Waiter-side wakeup hook: consume this waiter's morph key and, if it was
+// part of a chain, advance it.  Must be called at a point where the waiter
+// holds (or will not contend) the associated lock; calling it with no key
+// set is a single relaxed exchange.
+inline void morph_consume(MorphWaiter& w) noexcept {
+  // The key was written before the semaphore post that woke us, so the
+  // acquire in sem.wait() makes a relaxed read here sufficient.
+  const void* key = w.key.exchange(nullptr, std::memory_order_relaxed);
+  if (key != nullptr) morph_advance(key);
+}
+
+}  // namespace tmcv

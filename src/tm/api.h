@@ -52,6 +52,20 @@ inline void on_abort(std::function<void()> fn) {
   descriptor().on_abort(std::move(fn));
 }
 
+// Allocation-free variants: a function pointer plus a caller-owned context,
+// stored in fixed per-descriptor slots (no std::function, no heap).  The
+// context must outlive the outermost enclosing transaction -- in practice a
+// thread_local or a stack frame that spans the atomically() call.  The wait
+// paths use these so registering the one handler a wait needs never
+// allocates.
+inline void on_commit_fn(TxDescriptor::HandlerFn fn, void* ctx) {
+  descriptor().on_commit_fn(fn, ctx);
+}
+
+inline void on_abort_fn(TxDescriptor::HandlerFn fn, void* ctx) {
+  descriptor().on_abort_fn(fn, ctx);
+}
+
 // Queue a semaphore post for the outermost enclosing commit (immediate when
 // no transaction is active).  The allocation-free specialization of
 // on_commit for the notify fast path: victims accumulate in a per-descriptor

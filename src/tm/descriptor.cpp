@@ -655,6 +655,32 @@ void TxDescriptor::on_commit(std::function<void()> fn) {
   commit_handlers_.push_back(std::move(fn));
 }
 
+void TxDescriptor::on_commit_fn(HandlerFn fn, void* ctx) {
+  if (!in_txn()) {
+    ++stats_.handlers_run;
+    fn(ctx);
+    return;
+  }
+  if (commit_fn_count_ < kInlineHandlerSlots) {
+    ++stats_.handlers_inline;
+    commit_fns_[commit_fn_count_++] = InlineHandler{fn, ctx};
+    return;
+  }
+  // Slot overflow: degrade to the allocating path rather than drop.
+  ++stats_.handlers_registered;
+  commit_handlers_.push_back([fn, ctx] { fn(ctx); });
+}
+
+void TxDescriptor::on_abort_fn(HandlerFn fn, void* ctx) {
+  if (!in_txn()) return;  // nothing to compensate outside a transaction
+  if (abort_fn_count_ < kInlineHandlerSlots) {
+    ++stats_.handlers_inline;
+    abort_fns_[abort_fn_count_++] = InlineHandler{fn, ctx};
+    return;
+  }
+  abort_handlers_.push_back([fn, ctx] { fn(ctx); });
+}
+
 void TxDescriptor::defer_wake(BinarySemaphore* sem) {
   if (!in_txn()) {
     sem->post();
@@ -681,9 +707,21 @@ void TxDescriptor::run_commit_handlers() {
   // and a wait_at_commit handler queued behind them may block this thread.
   flush_wake_batch();
   abort_handlers_.clear();
+  abort_fn_count_ = 0;
+  // Inline slots drain before the std::function vector; both drain from a
+  // local copy because handlers run post-commit with no transaction active
+  // and may themselves start transactions (re-registering handlers).
+  if (commit_fn_count_ != 0) {
+    InlineHandler fns[kInlineHandlerSlots];
+    const std::size_t n = commit_fn_count_;
+    for (std::size_t i = 0; i < n; ++i) fns[i] = commit_fns_[i];
+    commit_fn_count_ = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++stats_.handlers_run;
+      fns[i].fn(fns[i].ctx);
+    }
+  }
   if (commit_handlers_.empty()) return;
-  // Handlers run post-commit with no transaction active; they may themselves
-  // start transactions, so drain from a moved-out copy.
   std::vector<std::function<void()>> handlers = std::move(commit_handlers_);
   commit_handlers_.clear();
   for (auto& h : handlers) {
@@ -694,6 +732,14 @@ void TxDescriptor::run_commit_handlers() {
 
 void TxDescriptor::run_abort_handlers() noexcept {
   commit_handlers_.clear();
+  commit_fn_count_ = 0;
+  if (abort_fn_count_ != 0) {
+    InlineHandler fns[kInlineHandlerSlots];
+    const std::size_t n = abort_fn_count_;
+    for (std::size_t i = 0; i < n; ++i) fns[i] = abort_fns_[i];
+    abort_fn_count_ = 0;
+    for (std::size_t i = 0; i < n; ++i) fns[i].fn(fns[i].ctx);
+  }
   std::vector<std::function<void()>> handlers = std::move(abort_handlers_);
   abort_handlers_.clear();
   for (auto& h : handlers) h();

@@ -152,6 +152,21 @@ class TxDescriptor {
   // Run if the transaction aborts (compensation); discarded on commit.
   void on_abort(std::function<void()> fn);
 
+  // Allocation-free handler registration: a plain function pointer plus a
+  // context pointer, kept in fixed inline slots.  The condvar wait paths
+  // register exactly one handler per wait, and a std::function whose capture
+  // exceeds the small-buffer limit heap-allocates on every registration --
+  // measurable on the wait fast path.  The first kInlineHandlerSlots
+  // handlers of each kind stay inline; overflow silently degrades to the
+  // std::function path.  Inline handlers run before any std::function
+  // handlers of the same kind (registration order is preserved within each
+  // tier, not across tiers).
+  using HandlerFn = void (*)(void*);
+  void on_commit_fn(HandlerFn fn, void* ctx);
+  void on_abort_fn(HandlerFn fn, void* ctx);
+
+  static constexpr std::size_t kInlineHandlerSlots = 4;
+
   // ---- batched wakeups ----
   //
   // Queue a semaphore post for the outermost commit.  The batch is a plain
@@ -428,6 +443,16 @@ class TxDescriptor {
   std::vector<Orec*> acquire_scratch_;
   std::vector<std::function<void()>> commit_handlers_;
   std::vector<std::function<void()>> abort_handlers_;
+  // Inline POD handler slots (see on_commit_fn): cleared on both commit and
+  // abort, drained before the std::function vectors above.
+  struct InlineHandler {
+    HandlerFn fn;
+    void* ctx;
+  };
+  InlineHandler commit_fns_[kInlineHandlerSlots];
+  InlineHandler abort_fns_[kInlineHandlerSlots];
+  std::size_t commit_fn_count_ = 0;
+  std::size_t abort_fn_count_ = 0;
   std::vector<BinarySemaphore*> wake_batch_;
 
   // Dedup filter + log-index state (see the comments above).

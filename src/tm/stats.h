@@ -48,6 +48,8 @@ struct Stats {
   // Fast-path instrumentation (log index, wake batching).
   std::uint64_t log_index_rehashes = 0;  // redo/lock index growth events
   std::uint64_t handlers_registered = 0; // deferred onCommit handler allocs
+  std::uint64_t handlers_inline = 0;     // handlers kept in inline POD slots
+                                         // (registration without allocation)
   std::uint64_t deferred_wakes = 0;      // semaphores queued in a wake batch
   std::uint64_t wake_batches = 0;        // wake-batch flushes at commit
 
@@ -89,6 +91,7 @@ struct Stats {
     fn("cm_serial_escalations", &Stats::cm_serial_escalations);
     fn("log_index_rehashes", &Stats::log_index_rehashes);
     fn("handlers_registered", &Stats::handlers_registered);
+    fn("handlers_inline", &Stats::handlers_inline);
     fn("deferred_wakes", &Stats::deferred_wakes);
     fn("wake_batches", &Stats::wake_batches);
   }

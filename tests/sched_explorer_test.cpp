@@ -5,6 +5,7 @@
 
 #include "sched/cv_model.h"
 #include "sched/explorer.h"
+#include "sched/spin_model.h"
 
 namespace tmcv::sched {
 namespace {
@@ -151,6 +152,47 @@ TEST(Explorer, ExhaustiveAndRandomAgreeOnSmallConfig) {
   const ExploreResult random = explore_random(m2, 500, 123);
   EXPECT_TRUE(exhaustive.ok());
   EXPECT_TRUE(random.ok());
+}
+
+// ---- Spin-then-park semaphore model (sync/spin.h integration) ----
+
+TEST(SpinModel, NoSpinConfigurationIsLossless) {
+  // R = 0 is the TMCV_NO_SPIN / set_spin_budget(0) path: every slow-path
+  // schedule parks, none deadlocks, the token is consumed exactly once.
+  SpinSemModel model({.spin_rounds = 0, .posts = 1});
+  const ExploreResult r = explore_all(model);
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_GT(r.schedules, 0u);
+  EXPECT_TRUE(model.ever_parked());
+  EXPECT_FALSE(model.ever_avoided());
+}
+
+TEST(SpinModel, SpinningReachesBothOutcomesAndStaysLossless) {
+  // With a spin budget, a post landing mid-spin must complete the wait
+  // without a park, and a late post must still wake the parked waiter --
+  // both outcomes reachable, zero deadlocks (no lost wakeup) either way.
+  SpinSemModel model({.spin_rounds = 2, .posts = 1});
+  const ExploreResult r = explore_all(model);
+  EXPECT_TRUE(r.ok()) << r.first_error;
+  EXPECT_TRUE(model.ever_avoided());
+  EXPECT_TRUE(model.ever_parked());
+}
+
+TEST(SpinModel, DoublePostIsIdempotentAcrossSpinBudgets) {
+  // Binary semaphore: a second post while the token is still set is
+  // absorbed.  The waiter must consume exactly one token in every schedule
+  // regardless of the spin budget.
+  for (const unsigned rounds : {0u, 1u, 3u}) {
+    SpinSemModel model({.spin_rounds = rounds, .posts = 2});
+    const ExploreResult r = explore_all(model);
+    EXPECT_TRUE(r.ok()) << "R=" << rounds << ": " << r.first_error;
+  }
+}
+
+TEST(SpinModel, RandomExplorationAgrees) {
+  SpinSemModel model({.spin_rounds = 4, .posts = 2});
+  const ExploreResult r = explore_random(model, 2000, 42);
+  EXPECT_TRUE(r.ok()) << r.first_error;
 }
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Adaptive spin-then-park: the SpinControl predictor, the process-wide
+// budget knob, the adaptive_spin helper, and the semaphore slow-path
+// integration (park -> wake -> token consumed exactly once).  The
+// interleaving-dependent property (post mid-spin avoids the park) is model-
+// checked exhaustively in sched_explorer_test.cpp; here we pin the
+// deterministic pieces.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sync/semaphore.h"
+#include "sync/spin.h"
+#include "sync/wake_stats.h"
+
+namespace tmcv {
+namespace {
+
+// Restore the global budget after each test so ordering can't leak.
+class SpinBudgetGuard {
+ public:
+  SpinBudgetGuard() : saved_(spin_budget()) {}
+  ~SpinBudgetGuard() { set_spin_budget(saved_); }
+
+ private:
+  unsigned saved_;
+};
+
+TEST(SpinControl, EwmaConvergesUpOnSuccessAndDownOnFailure) {
+  detail::SpinControl ctl;
+  EXPECT_EQ(ctl.ewma, 128u);  // starts undecided
+  for (int i = 0; i < 64; ++i) ctl.record(true);
+  EXPECT_EQ(ctl.ewma, 256u);  // success fixed point
+  EXPECT_EQ(ctl.effective_rounds(16), 16u);  // full budget
+  for (int i = 0; i < 64; ++i) ctl.record(false);
+  // Failure fixed point: integer division floors the decay once ewma/8 == 0,
+  // so the EWMA settles at <= 7 rather than exactly 0.
+  EXPECT_LE(ctl.ewma, 7u);
+  // Floor of one round: a park-always thread keeps probing so it can
+  // recover when the workload turns ping-pongy.
+  EXPECT_EQ(ctl.effective_rounds(16), 1u);
+  const unsigned floor = ctl.ewma;
+  ctl.record(true);
+  EXPECT_GT(ctl.ewma, floor);  // and recovery is possible
+}
+
+TEST(SpinControl, EffectiveRoundsScalesWithHistory) {
+  detail::SpinControl ctl;  // ewma = 128: half confidence
+  EXPECT_EQ(ctl.effective_rounds(16), 8u);
+  EXPECT_EQ(ctl.effective_rounds(0), 0u);  // budget 0 always wins
+  ctl.ewma = 1;                            // tiny but nonzero history
+  EXPECT_EQ(ctl.effective_rounds(16), 1u);  // floored, not zeroed
+}
+
+TEST(SpinBudget, KnobRoundTrips) {
+  SpinBudgetGuard guard;
+  set_spin_budget(3);
+  EXPECT_EQ(spin_budget(), 3u);
+  set_spin_budget(0);
+  EXPECT_EQ(spin_budget(), 0u);
+}
+
+TEST(AdaptiveSpin, ZeroBudgetSkipsTheSpinEntirely) {
+  SpinBudgetGuard guard;
+  set_spin_budget(0);
+  const WakeStats before = wake_stats_snapshot();
+  int probes = 0;
+  EXPECT_FALSE(adaptive_spin([&]() noexcept {
+    ++probes;
+    return true;  // would succeed instantly -- must not even be asked
+  }));
+  EXPECT_EQ(probes, 0);
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.spin_attempts, before.spin_attempts);
+}
+
+TEST(AdaptiveSpin, ReadyMidSpinReturnsTrueAndCounts) {
+  SpinBudgetGuard guard;
+  set_spin_budget(64);
+  // Rebuild per-thread confidence so the budget is not floored by earlier
+  // tests on this thread.
+  for (int i = 0; i < 64; ++i) detail::my_spin_control().record(true);
+  const WakeStats before = wake_stats_snapshot();
+  int probes = 0;
+  EXPECT_TRUE(adaptive_spin([&]() noexcept { return ++probes >= 3; }));
+  EXPECT_EQ(probes, 3);
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.spin_attempts - before.spin_attempts, 1u);
+  EXPECT_EQ(after.spin_rounds - before.spin_rounds, 2u);  // 2 failed probes
+}
+
+TEST(AdaptiveSpin, BudgetExhaustionReturnsFalse) {
+  SpinBudgetGuard guard;
+  set_spin_budget(4);
+  EXPECT_FALSE(adaptive_spin([]() noexcept { return false; }));
+}
+
+TEST(BinarySemaphore, ParkWakeConsumesTokenExactlyOnce) {
+  SpinBudgetGuard guard;
+  set_spin_budget(0);  // force the pure park path deterministically
+  BinarySemaphore sem;
+  const WakeStats before = wake_stats_snapshot();
+  std::thread waiter([&] { sem.wait(); });
+  sem.post();
+  waiter.join();
+  // Exactly one token moved: the semaphore is empty again.
+  EXPECT_FALSE(sem.try_wait());
+  const WakeStats after = wake_stats_snapshot();
+  // The waiter either parked (slow path) or won the fast-path race; it can
+  // never have recorded a park-avoidance with spinning disabled.
+  EXPECT_EQ(after.parks_avoided, before.parks_avoided);
+}
+
+TEST(BinarySemaphore, SlowPathWithSpinStillConservesTheToken) {
+  SpinBudgetGuard guard;
+  set_spin_budget(32);
+  BinarySemaphore sem;
+  std::thread waiter([&] { sem.wait(); });
+  sem.post();
+  waiter.join();
+  EXPECT_FALSE(sem.try_wait());
+  sem.post();
+  EXPECT_TRUE(sem.try_wait());  // and the primitive still round-trips
+}
+
+TEST(CountingSemaphore, SpinPathPreservesCount) {
+  SpinBudgetGuard guard;
+  set_spin_budget(32);
+  Semaphore sem(0);
+  std::thread waiter([&] {
+    sem.wait();
+    sem.wait();
+  });
+  sem.post();
+  sem.post();
+  waiter.join();
+  EXPECT_EQ(sem.value(), 0u);
+}
+
+TEST(WakeStats, SnapshotAndResetCoverEveryField) {
+  // for_each_field, +=, -= and the snapshot/reset pair stay in sync.
+  WakeStats a;
+  std::size_t fields = 0;
+  WakeStats::for_each_field([&](const char* name, std::uint64_t WakeStats::*f) {
+    EXPECT_NE(name, nullptr);
+    a.*f = ++fields;  // distinct values
+  });
+  EXPECT_EQ(fields, 6u);
+  WakeStats b = a;
+  b += a;
+  b -= a;
+  WakeStats::for_each_field([&](const char*, std::uint64_t WakeStats::*f) {
+    EXPECT_EQ(b.*f, a.*f);
+  });
+}
+
+}  // namespace
+}  // namespace tmcv

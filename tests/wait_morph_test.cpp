@@ -1,0 +1,266 @@
+// Wait-morphing notify handoff (sync/wait_morph.h): the relay-list
+// primitives, the WakeHandoffScope ambient declaration, and the end-to-end
+// property the ISSUE names -- a scoped notify_all makes at most ONE waiter
+// runnable per unlock, relaying the rest through the per-lock chain.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/legacy_cv.h"
+#include "sync/semaphore.h"
+#include "sync/wait_morph.h"
+#include "sync/wake_stats.h"
+
+namespace tmcv {
+namespace {
+
+// Restore the global morphing switch after each test.
+class MorphGuard {
+ public:
+  MorphGuard() : saved_(wait_morphing()) {}
+  ~MorphGuard() { set_wait_morphing(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(WaitMorph, RequeueAdvanceRoundTrip) {
+  const int key_storage = 0;
+  const void* key = &key_storage;
+  BinarySemaphore sem;
+  MorphWaiter w;
+  w.sem = &sem;
+
+  EXPECT_EQ(morph_pending(key), 0u);
+  morph_requeue(key, &w);
+  EXPECT_EQ(morph_pending(key), 1u);
+  EXPECT_FALSE(sem.try_wait());  // requeue parks, it must not post
+
+  EXPECT_TRUE(morph_advance(key));
+  EXPECT_EQ(morph_pending(key), 0u);
+  EXPECT_TRUE(sem.try_wait());  // advance posted exactly one token
+  EXPECT_FALSE(sem.try_wait());
+
+  EXPECT_FALSE(morph_advance(key));  // empty chain: no-op
+}
+
+TEST(WaitMorph, ChainDrainsInFifoOrder) {
+  const int key_storage = 0;
+  const void* key = &key_storage;
+  BinarySemaphore s1, s2, s3;
+  MorphWaiter w1, w2, w3;
+  w1.sem = &s1;
+  w2.sem = &s2;
+  w3.sem = &s3;
+  morph_requeue(key, &w1);
+  morph_requeue(key, &w2);
+  morph_requeue(key, &w3);
+  EXPECT_EQ(morph_pending(key), 3u);
+
+  EXPECT_TRUE(morph_advance(key));
+  EXPECT_TRUE(s1.try_wait());  // FIFO: first requeued wakes first
+  EXPECT_FALSE(s2.try_wait());
+  EXPECT_FALSE(s3.try_wait());
+
+  EXPECT_TRUE(morph_advance(key));
+  EXPECT_TRUE(s2.try_wait());
+  EXPECT_TRUE(morph_advance(key));
+  EXPECT_TRUE(s3.try_wait());
+  EXPECT_EQ(morph_pending(key), 0u);
+}
+
+TEST(WaitMorph, DistinctKeysAreIsolated) {
+  const int a_storage = 0, b_storage = 0;
+  const void *ka = &a_storage, *kb = &b_storage;
+  BinarySemaphore sem;
+  MorphWaiter w;
+  w.sem = &sem;
+  morph_requeue(ka, &w);
+  EXPECT_FALSE(morph_advance(kb));  // other key sees an empty chain
+  EXPECT_EQ(morph_pending(ka), 1u);
+  EXPECT_TRUE(morph_advance(ka));
+  EXPECT_TRUE(sem.try_wait());
+}
+
+TEST(WaitMorph, HandoffScopeNestsAndRestores) {
+  EXPECT_EQ(current_lock_scope(), nullptr);
+  std::mutex outer, inner;
+  {
+    WakeHandoffScope a(outer);
+    EXPECT_EQ(current_lock_scope(), static_cast<const void*>(&outer));
+    {
+      WakeHandoffScope b(inner);
+      EXPECT_EQ(current_lock_scope(), static_cast<const void*>(&inner));
+    }
+    EXPECT_EQ(current_lock_scope(), static_cast<const void*>(&outer));
+  }
+  EXPECT_EQ(current_lock_scope(), nullptr);
+}
+
+TEST(WaitMorph, ToggleRoundTrips) {
+  MorphGuard guard;
+  set_wait_morphing(false);
+  EXPECT_FALSE(wait_morphing());
+  set_wait_morphing(true);
+  EXPECT_TRUE(wait_morphing());
+}
+
+// The tentpole property: notify_all under the lock makes exactly one waiter
+// runnable; the remaining kWaiters-1 sit on the relay chain until each
+// predecessor re-acquires and advances it.  Assertable deterministically
+// because the notifier still holds the mutex when it checks the chain.
+TEST(WaitMorph, ScopedNotifyAllRelaysOneWaiterPerUnlock) {
+  MorphGuard guard;
+  set_wait_morphing(true);
+  constexpr int kWaiters = 4;
+
+  std::mutex m;
+  condition_variable cv;
+  bool go = false;
+  int awake = 0;
+  const WakeStats before = wake_stats_snapshot();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(m);
+      while (!go) cv.wait(lock);
+      ++awake;
+    });
+  }
+  while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+
+  {
+    std::unique_lock<std::mutex> lock(m);
+    go = true;
+    cv.notify_all(lock);
+    // Still holding the mutex: kWaiters-1 waiters morphed onto the chain,
+    // so at most one thread is runnable right now.
+    EXPECT_EQ(morph_pending(static_cast<const void*>(&m)),
+              static_cast<std::size_t>(kWaiters - 1));
+  }
+
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(awake, kWaiters);
+  EXPECT_EQ(morph_pending(static_cast<const void*>(&m)), 0u);
+
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.requeues - before.requeues,
+            static_cast<std::uint64_t>(kWaiters - 1));
+  EXPECT_EQ(after.handoffs - before.handoffs,
+            static_cast<std::uint64_t>(kWaiters - 1));
+}
+
+TEST(WaitMorph, ScopedNotifyOneSkipsTheChain) {
+  MorphGuard guard;
+  set_wait_morphing(true);
+  std::mutex m;
+  condition_variable cv;
+  bool go = false;
+  const WakeStats before = wake_stats_snapshot();
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lock(m);
+    while (!go) cv.wait(lock);
+  });
+  while (cv.raw().waiter_count() < 1) std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(m);
+    go = true;
+    cv.notify_one(lock);  // single victim: direct post, no requeue
+  }
+  waiter.join();
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.requeues, before.requeues);
+}
+
+TEST(WaitMorph, DisabledMorphingFallsBackToBatchWake) {
+  MorphGuard guard;
+  set_wait_morphing(false);
+  constexpr int kWaiters = 3;
+  std::mutex m;
+  condition_variable cv;
+  bool go = false;
+  const WakeStats before = wake_stats_snapshot();
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(m);
+      while (!go) cv.wait(lock);
+    });
+  }
+  while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(m);
+    go = true;
+    cv.notify_all(lock);  // scope declared but morphing off: herd wake
+    EXPECT_EQ(morph_pending(static_cast<const void*>(&m)), 0u);
+  }
+  for (auto& t : threads) t.join();
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.requeues, before.requeues);
+}
+
+TEST(WaitMorph, UnscopedNotifyAllStillWakesEveryone) {
+  MorphGuard guard;
+  set_wait_morphing(true);
+  constexpr int kWaiters = 3;
+  std::mutex m;
+  condition_variable cv;
+  bool go = false;
+  const WakeStats before = wake_stats_snapshot();
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(m);
+      while (!go) cv.wait(lock);
+    });
+  }
+  while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(m);
+    go = true;
+  }
+  cv.notify_all();  // no scope: nothing to morph onto
+  for (auto& t : threads) t.join();
+  const WakeStats after = wake_stats_snapshot();
+  EXPECT_EQ(after.requeues, before.requeues);
+}
+
+// Timed waiters participate in the chain too: a wait_for that is notified
+// while morph-parked must still consume its relay link exactly once.
+TEST(WaitMorph, TimedWaitersDrainTheChain) {
+  MorphGuard guard;
+  set_wait_morphing(true);
+  constexpr int kWaiters = 3;
+  std::mutex m;
+  condition_variable cv;
+  bool go = false;
+  int notified = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      std::unique_lock<std::mutex> lock(m);
+      while (!go) {
+        if (cv.wait_for(lock, std::chrono::seconds(30))) ++notified;
+      }
+    });
+  }
+  while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(m);
+    go = true;
+    cv.notify_all(lock);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(notified, kWaiters);
+  EXPECT_EQ(morph_pending(static_cast<const void*>(&m)), 0u);
+}
+
+}  // namespace
+}  // namespace tmcv

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the tmcv docs set.
+
+Scans the repository's markdown files for inline links and validates every
+relative (non-http) target against the working tree, including `#fragment`
+anchors within .md targets (matched against GitHub-style heading slugs).
+External http(s)/mailto links are listed but not fetched -- CI must stay
+hermetic. Exits non-zero with a per-link report if anything dangles.
+
+Usage:  tools/check_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+import unicodedata
+
+# Inline markdown links [text](target). Deliberately simple: the docs do not
+# use reference-style links or angle-bracket autolinks with spaces.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+DEFAULT_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "PAPER.md",
+    "CHANGES.md",
+    "docs/INDEX.md",
+    "docs/API.md",
+    "docs/TUNING.md",
+    "docs/OBSERVABILITY.md",
+]
+
+
+def github_slug(heading):
+    """Approximate GitHub's heading -> anchor slug transform."""
+    text = re.sub(r"[`*_]", "", heading)           # strip inline formatting
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = unicodedata.normalize("NFKD", text).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_path):
+    slugs, seen = set(), {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def extract_links(md_path):
+    links, in_fence = [], False
+    with open(md_path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group(1)))
+    return links
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else
+                           os.path.join(os.path.dirname(__file__), ".."))
+    files = [f for f in DEFAULT_FILES if os.path.exists(os.path.join(root, f))]
+    slug_cache = {}
+    errors, external, checked = [], 0, 0
+
+    def slugs_for(path):
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    for rel in files:
+        src = os.path.join(root, rel)
+        for lineno, target in extract_links(src):
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(src), path_part))
+            else:
+                dest = src  # pure fragment: anchor within this file
+            if not os.path.exists(dest):
+                errors.append(f"{rel}:{lineno}: dangling link -> {target}")
+                continue
+            if fragment and dest.endswith(".md"):
+                if fragment.lower() not in slugs_for(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor -> {target}")
+
+    print(f"check_links: {len(files)} files, {checked} relative links "
+          f"checked, {external} external links skipped")
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

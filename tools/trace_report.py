@@ -23,7 +23,7 @@ import sys
 KNOWN_EVENTS = {
     "txn.commit", "txn.abort", "txn.serial_fallback",
     "cv.wait", "cv.notify",
-    "sem.wait", "sem.post", "sem.post_batch",
+    "sem.wait", "sem.post", "sem.post_batch", "sem.spin",
     "cm.backoff",
 }
 
