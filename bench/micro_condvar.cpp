@@ -8,17 +8,25 @@
 // that prove notify-all performs O(1) onCommit handler allocations), plus a
 // BENCH_micro_condvar.metrics.json observability-registry sibling (+ .prom)
 // with cv-wait / notify->wake percentiles from unmeasured timed rounds.
+//
+// `--trace PATH` appends an unmeasured traced herd phase and writes its
+// Chrome trace to PATH (input for tools/trace_report.py --causal).
+// `--serve-metrics[=PORT]` starts the live telemetry endpoint for the run;
+// `--hold-ms=N` keeps it up N ms after the workload finishes.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/c_api.h"
 #include "core/condvar.h"
 #include "core/legacy_cv.h"
 #include "obs/metrics.h"
@@ -436,21 +444,146 @@ int run_json_herd_mode(const char* out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --trace mode: unmeasured traced herd for the offline causal analysis
+// ---------------------------------------------------------------------------
+//
+// A smaller herd run with event capture ON, written out as a Chrome trace
+// for `tools/trace_report.py --causal` (notify->wake edge reconstruction,
+// token conservation).  This is a separate phase rather than tracing the
+// measured herd because the measured phases synchronize rounds by spinning
+// on the transactional waiter_count(): with capture enabled each probe
+// would push a txn.commit record, wrapping the notifier's ring and dropping
+// the very cv.notify events the checker matches tokens against.  Rounds are
+// synchronized with a plain atomic ack counter instead, so the rings hold
+// the complete event stream (zero drops).
+int run_traced_herd(const char* trace_path) {
+  constexpr int kWaiters = 8;
+  constexpr int kRounds = 300;
+
+  std::mutex m;
+  condition_variable cv;
+  std::uint64_t round = 0;
+  bool stop = false;
+  std::atomic<std::uint64_t> acks{0};
+  tmcv::obs::trace_reset();
+  tmcv::obs::set_trace_enabled(true);
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&] {
+      std::uint64_t seen = 0;
+      std::unique_lock<std::mutex> lk(m);
+      while (!stop) {
+        while (round == seen && !stop) cv.wait(lk);
+        seen = round;
+        acks.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int r = 1; r <= kRounds; ++r) {
+    {
+      std::unique_lock<std::mutex> lk(m);
+      ++round;
+#if TMCV_BENCH_HAVE_WAKE_PATH
+      cv.notify_all(lk);  // scoped: morph the herd onto the lock's chain
+#else
+      cv.notify_all();
+#endif
+    }
+    // A waiter acking round r may not have re-parked yet when round r+1 is
+    // notified; the predicate re-check under the mutex makes that benign,
+    // and the notify's woken-count arg records how many actually woke.
+    while (acks.load(std::memory_order_relaxed) <
+           static_cast<std::uint64_t>(kWaiters) * static_cast<unsigned>(r))
+      std::this_thread::yield();
+  }
+  {
+    std::unique_lock<std::mutex> lk(m);
+    stop = true;
+    cv.notify_all();
+  }
+  for (auto& th : waiters) th.join();
+  tmcv::obs::set_trace_enabled(false);
+  const tmcv::obs::TraceCounts tc = tmcv::obs::trace_counts();
+  if (!tmcv::obs::write_chrome_trace(trace_path)) {
+    std::perror("write_chrome_trace");
+    return 1;
+  }
+  std::printf("wrote %s (%llu events, %llu dropped)\n", trace_path,
+              static_cast<unsigned long long>(tc.recorded),
+              static_cast<unsigned long long>(tc.dropped));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags consumed here (and stripped before google-benchmark sees argv):
+  //   --serve-metrics[=PORT]  live telemetry endpoint for the whole run
+  //   --hold-ms=N             keep the endpoint alive N ms after the run
+  //   --trace PATH            append the traced herd phase, write PATH
+  bool serve = false;
+  int serve_port = 0;
+  long hold_ms = 0;
+  const char* trace_path = nullptr;
+  int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-herd
+  const char* out_path = nullptr;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0)
-      return run_json_mode(i + 1 < argc ? argv[i + 1]
-                                        : "BENCH_micro_condvar.json");
-    if (std::strcmp(argv[i], "--json-herd") == 0)
-      return run_json_herd_mode(i + 1 < argc
-                                    ? argv[i + 1]
-                                    : "BENCH_micro_condvar_herd.json");
+    const char* a = argv[i];
+    if (std::strncmp(a, "--serve-metrics", 15) == 0 &&
+        (a[15] == '\0' || a[15] == '=')) {
+      serve = true;
+      if (a[15] == '=') serve_port = std::atoi(a + 16);
+    } else if (std::strncmp(a, "--hold-ms=", 10) == 0) {
+      hold_ms = std::atol(a + 10);
+    } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(a, "--json") == 0) {
+      mode = 1;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (std::strcmp(a, "--json-herd") == 0) {
+      mode = 2;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  if (serve) {
+    tmcv::obs::set_attribution_enabled(true);
+    const int port = tmcv_telemetry_start(serve_port);
+    if (port < 0) {
+      std::fprintf(stderr,
+                   "micro_condvar: failed to start telemetry on port %d\n",
+                   serve_port);
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
+    std::fflush(stdout);
+  }
+  int rc = 0;
+  if (mode == 1) {
+    rc = run_json_mode(out_path ? out_path : "BENCH_micro_condvar.json");
+  } else if (mode == 2) {
+    rc = run_json_herd_mode(out_path ? out_path
+                                     : "BENCH_micro_condvar_herd.json");
+  }
+  if (rc == 0 && trace_path != nullptr) rc = run_traced_herd(trace_path);
+  if (mode == 0 && trace_path == nullptr) {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (serve) {
+    if (hold_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    tmcv_telemetry_stop();
+  }
+  return rc;
 }

@@ -8,17 +8,26 @@
 // abort/commit ratio, dedup hit rate) for the CI perf-smoke artifact, plus a
 // BENCH_micro_tm.metrics.json observability-registry sibling (+ .prom) with
 // txn-duration percentiles from one extra unmeasured timed rep.
+//
+// `--serve-metrics[=PORT]` additionally starts the live telemetry endpoint
+// (core/c_api.h) for the duration of the run; `--hold-ms=N` keeps it up N ms
+// after the workload finishes so external scrapers can read the final
+// counters.  Both compose with any mode.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/c_api.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tm/api.h"
@@ -176,6 +185,7 @@ ReadHeavyState& read_heavy_state() {
 
 void read_heavy_txn(ReadHeavyState& s, Backend b, int t, int i) {
   atomically(b, [&] {
+    TMCV_TXN_SITE("read_heavy.scan");
     std::uint64_t sum = 0;
     for (int k = 0; k < kRhScan; ++k)
       sum += s.hot.load() + s.arr[(t * 7 + k) % kRhVars]->load();
@@ -326,6 +336,7 @@ void contended_txn(ContendedState& s, int tid, int seq) {
     // so the hybrid path must discover that and fall back to software.
     auto& region = s.heavy[tid];
     atomically(Backend::Hybrid, [&] {
+      TMCV_TXN_SITE("zipf.heavy");
       for (int w = 0; w < kCwHeavyWrites; ++w)
         region[w]->store(static_cast<std::uint64_t>(seq));
       counter->store(counter->load() + 1);
@@ -336,6 +347,7 @@ void contended_txn(ContendedState& s, int tid, int seq) {
   // the same stripe set -- the worst case for naive conflict handling.
   const ContendedPickSet& p = s.picks[tid][seq & (kCwPickSets - 1)];
   atomically(Backend::LazySTM, [&] {
+    TMCV_TXN_SITE("zipf.update");
     std::uint64_t acc = 0;
     for (int r = 0; r < kCwReads; ++r) acc += s.arr[p.reads[r]]->load();
     for (int w = 0; w < kCwWrites - 1; ++w)
@@ -367,7 +379,15 @@ int run_json_contended_mode(const char* out_path) {
   ContendedState& s = contended_state();
   run_contended_once(s, kThreads, kTxnsPerThread / 4);  // warm-up
   const std::uint64_t sum_before = s.total();
+  // Attribution covers exactly the post-reset window, so the sibling
+  // metrics file demonstrates completeness: the conflict-pair counts sum to
+  // tm.aborts_conflict (same window, same counters).
   stats_reset();
+  tmcv::obs::attr_reset();
+  // TMCV_BENCH_NO_ATTR keeps the recorder off for A/B runs that measure the
+  // cost of the compiled-in-but-disabled hooks (same idiom as TMCV_NO_SPIN).
+  if (std::getenv("TMCV_BENCH_NO_ATTR") == nullptr)
+    tmcv::obs::set_attribution_enabled(true);
   double best = 0;
   for (int rep = 0; rep < kReps; ++rep) {
     const double r = run_contended_once(s, kThreads, kTxnsPerThread);
@@ -384,12 +404,16 @@ int run_json_contended_mode(const char* out_path) {
                  (unsigned long long)s.total(), (unsigned long long)expected);
     return 1;
   }
-  const Stats st = stats_snapshot();
-  const double attempts =
-      static_cast<double>(st.commits) + static_cast<double>(st.aborts);
   tmcv::obs::set_timing_enabled(true);
   run_contended_once(s, kThreads, kTxnsPerThread);
   tmcv::obs::set_timing_enabled(false);
+  // Snapshot after the histogram rep so the JSON's abort counters cover the
+  // same window as the sibling metrics file -- the completeness contract
+  // (attribution.conflicts_recorded == tm.aborts_conflict) then holds
+  // across both artifacts, not just within the metrics snapshot.
+  const Stats st = stats_snapshot();
+  const double attempts =
+      static_cast<double>(st.commits) + static_cast<double>(st.aborts);
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::perror("fopen");
@@ -418,7 +442,12 @@ int run_json_contended_mode(const char* out_path) {
                "  \"cm_waits\": %llu,\n"
                "  \"cm_backoffs\": %llu,\n"
                "  \"cm_serial_escalations\": %llu,\n"
-               "  \"clock_cas_reuses\": %llu\n"
+               "  \"clock_cas_reuses\": %llu,\n"
+               "  \"aborts_conflict\": %llu,\n"
+               "  \"aborts_capacity\": %llu,\n"
+               "  \"aborts_syscall\": %llu,\n"
+               "  \"aborts_explicit\": %llu,\n"
+               "  \"aborts_retry_wait\": %llu\n"
                "}\n",
                kThreads, kTxnsPerThread, kCwWrites, kCwReads, kCwHeavyEvery,
                kCwHeavyWrites, kCwVars, kCwTheta, kReps,
@@ -433,7 +462,12 @@ int run_json_contended_mode(const char* out_path) {
                (unsigned long long)st.cm_waits,
                (unsigned long long)st.cm_backoffs,
                (unsigned long long)st.cm_serial_escalations,
-               (unsigned long long)st.clock_cas_reuses);
+               (unsigned long long)st.clock_cas_reuses,
+               (unsigned long long)st.aborts_conflict,
+               (unsigned long long)st.aborts_capacity,
+               (unsigned long long)st.aborts_syscall,
+               (unsigned long long)st.aborts_explicit,
+               (unsigned long long)st.aborts_retry_wait);
   std::fclose(f);
   const std::string mpath = metrics_path_for(out_path);
   if (!tmcv::obs::write_metrics_files(tmcv::obs::metrics_snapshot(), mpath)) {
@@ -513,7 +547,12 @@ int run_json_mode(const char* out_path) {
                "  \"aborts\": %llu,\n"
                "  \"reads\": %llu,\n"
                "  \"read_set_appends\": %llu,\n"
-               "  \"extensions\": %llu\n"
+               "  \"extensions\": %llu,\n"
+               "  \"aborts_conflict\": %llu,\n"
+               "  \"aborts_capacity\": %llu,\n"
+               "  \"aborts_syscall\": %llu,\n"
+               "  \"aborts_explicit\": %llu,\n"
+               "  \"aborts_retry_wait\": %llu\n"
                "}\n",
                kThreads, kTxnsPerThread, 2 * kRhScan + kRhWrites, kRhWrites,
                kReps, best,
@@ -524,7 +563,12 @@ int run_json_mode(const char* out_path) {
                st.dedup_hit_rate(), (unsigned long long)st.commits,
                (unsigned long long)st.aborts, (unsigned long long)st.reads,
                (unsigned long long)st.read_dedup_appends,
-               (unsigned long long)st.extensions);
+               (unsigned long long)st.extensions,
+               (unsigned long long)st.aborts_conflict,
+               (unsigned long long)st.aborts_capacity,
+               (unsigned long long)st.aborts_syscall,
+               (unsigned long long)st.aborts_explicit,
+               (unsigned long long)st.aborts_retry_wait);
   std::fclose(f);
   const std::string mpath = metrics_path_for(out_path);
   if (!tmcv::obs::write_metrics_files(tmcv::obs::metrics_snapshot(), mpath)) {
@@ -539,17 +583,67 @@ int run_json_mode(const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Flags consumed here (and stripped before google-benchmark sees argv):
+  //   --serve-metrics[=PORT]  live telemetry endpoint for the whole run
+  //                           (PORT 0 / omitted = ephemeral)
+  //   --hold-ms=N             keep the process (and the endpoint) alive N ms
+  //                           after the selected mode finishes, so an
+  //                           external scraper can read the final counters
+  bool serve = false;
+  int serve_port = 0;
+  long hold_ms = 0;
+  int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-contended
+  const char* out_path = nullptr;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json-contended") == 0)
-      return run_json_contended_mode(i + 1 < argc
-                                         ? argv[i + 1]
-                                         : "BENCH_micro_tm_contended.json");
-    if (std::strcmp(argv[i], "--json") == 0)
-      return run_json_mode(i + 1 < argc ? argv[i + 1] : "BENCH_micro_tm.json");
+    const char* a = argv[i];
+    if (std::strncmp(a, "--serve-metrics", 15) == 0 &&
+        (a[15] == '\0' || a[15] == '=')) {
+      serve = true;
+      if (a[15] == '=') serve_port = std::atoi(a + 16);
+    } else if (std::strncmp(a, "--hold-ms=", 10) == 0) {
+      hold_ms = std::atol(a + 10);
+    } else if (std::strcmp(a, "--json-contended") == 0) {
+      mode = 2;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (std::strcmp(a, "--json") == 0) {
+      mode = 1;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
   }
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  if (serve) {
+    tmcv::obs::set_attribution_enabled(true);
+    const int port = tmcv_telemetry_start(serve_port);
+    if (port < 0) {
+      std::fprintf(stderr, "micro_tm: failed to start telemetry on port %d\n",
+                   serve_port);
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
+    std::fflush(stdout);
+  }
+  int rc = 0;
+  if (mode == 2) {
+    rc = run_json_contended_mode(out_path ? out_path
+                                          : "BENCH_micro_tm_contended.json");
+  } else if (mode == 1) {
+    rc = run_json_mode(out_path ? out_path : "BENCH_micro_tm.json");
+  } else {
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (serve) {
+    if (hold_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    tmcv_telemetry_stop();
+  }
+  return rc;
 }

@@ -4,15 +4,24 @@
 //   run_kernel <kernel> [--system pthread|tmcv|tm] [--threads N]
 //              [--backend eager|lazy|htm|hybrid] [--scale X] [--trials N]
 //              [--trace out.json] [--metrics out.json]
+//              [--serve-metrics PORT] [--hold-ms N]
 //   run_kernel --list
 //
 // --trace writes a Chrome trace-event JSON (open in Perfetto) of condvar,
 // transaction and semaphore events; --metrics writes the unified metrics
 // registry snapshot as JSON plus a Prometheus-text sibling (<path>.prom).
+// --serve-metrics starts the live telemetry endpoint (core/c_api.h) for the
+// run (PORT 0 = ephemeral); --hold-ms keeps it up N ms after the trials so
+// an external scraper can read the final counters.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "core/c_api.h"
+#include "obs/trace.h"
 #include "parsec/runner.h"
 #include "tm/api.h"
 #include "util/stats.h"
@@ -26,6 +35,7 @@ int usage(const char* argv0) {
                "usage: %s <kernel> [--system pthread|tmcv|tm] [--threads N]\n"
                "          [--backend eager|lazy|htm|hybrid] [--scale X]\n"
                "          [--trials N] [--trace out.json] [--metrics out.json]\n"
+               "          [--serve-metrics PORT] [--hold-ms N]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -56,6 +66,9 @@ int main(int argc, char** argv) {
   parsec::KernelConfig cfg;
   parsec::ObsOutputs obs_out;
   int trials = 3;
+  bool serve = false;
+  int serve_port = 0;
+  long hold_ms = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -93,6 +106,11 @@ int main(int argc, char** argv) {
       obs_out.trace_path = next();
     } else if (arg == "--metrics") {
       obs_out.metrics_path = next();
+    } else if (arg == "--serve-metrics") {
+      serve = true;
+      serve_port = std::atoi(next());
+    } else if (arg == "--hold-ms") {
+      hold_ms = std::atol(next());
     } else {
       return usage(argv[0]);
     }
@@ -101,6 +119,17 @@ int main(int argc, char** argv) {
   tm::set_default_backend(backend);
   tm::stats_reset();
   obs_out.enable();
+  if (serve) {
+    obs::set_attribution_enabled(true);
+    const int port = tmcv_telemetry_start(serve_port);
+    if (port < 0) {
+      std::fprintf(stderr, "failed to start telemetry on port %d\n",
+                   serve_port);
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
+    std::fflush(stdout);
+  }
   std::printf("%s / %s / backend=%s / threads=%d / scale=%.2f\n",
               kernel->name.c_str(), parsec::to_string(system),
               tm::to_string(backend), cfg.threads, cfg.scale);
@@ -124,6 +153,11 @@ int main(int argc, char** argv) {
                 obs_out.trace_path.c_str());
   if (!obs_out.metrics_path.empty())
     std::printf("metrics: %s (+ .prom)\n", obs_out.metrics_path.c_str());
+  if (serve) {
+    if (hold_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    tmcv_telemetry_stop();
+  }
   tm::set_default_backend(tm::Backend::EagerSTM);
   return 0;
 }

@@ -54,6 +54,17 @@ unsigned tmcv_get_spin_budget(void);
 void tmcv_set_wait_morphing(int enabled);
 int tmcv_get_wait_morphing(void);
 
+/* Live telemetry endpoint (implemented in the obs library -- linking
+ * tmcv_obs is required to use these two; everything above needs only
+ * tmcv_core).  Starts a background HTTP/1.0 server bound to 127.0.0.1
+ * serving GET /metrics (Prometheus text), /metrics.json, /healthz and
+ * /profile (conflict-attribution top-N), snapshotting the metrics registry
+ * every few hundred ms.  `port` 0 picks an ephemeral port.  Returns the
+ * bound port, or -1 on failure (including: a server already running).
+ * tmcv_telemetry_stop is idempotent and joins the server threads. */
+int tmcv_telemetry_start(int port);
+void tmcv_telemetry_stop(void);
+
 #ifdef __cplusplus
 }  /* extern "C" */
 #endif

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/attribution.h"
+
 namespace tmcv {
 
 namespace detail {
@@ -128,6 +130,10 @@ void CondVar::clear_enqueued_thunk(void* ctx) noexcept {
 
 void CondVar::enqueue_self(detail::WaitNode& node) {
   tm::atomically([&] {
+    // Attribution hint, not label: an ambient user transaction keeps its
+    // own TMCV_TXN_SITE name; only standalone queue transactions show up
+    // as cv.* sites.  Same for the notify paths below.
+    TMCV_TXN_SITE_HINT("cv.wait.enqueue");
     // The closure may re-execute after an abort; re-assert line 1's state
     // (plain store is fine: the node is still private).
     node.next.store_plain(nullptr);
@@ -157,6 +163,7 @@ void CondVar::unlink(detail::WaitNode* prev, detail::WaitNode* node) {
 bool CondVar::try_remove_self(detail::WaitNode& node) {
   bool removed = false;
   tm::atomically([&] {
+    TMCV_TXN_SITE_HINT("cv.wait.cancel");
     removed = false;
     detail::WaitNode* prev = nullptr;
     for (detail::WaitNode* cur = head_.load(); cur != nullptr;
@@ -173,8 +180,10 @@ bool CondVar::try_remove_self(detail::WaitNode& node) {
 }
 
 bool CondVar::notify_one() {
+  const std::uint64_t notify_t0 = notify_begin_ticks();
   bool notified = false;
   tm::atomically([&] {
+    TMCV_TXN_SITE_HINT("cv.notify");
     notified = false;
     detail::WaitNode* sn = head_.load();
     if (sn == nullptr) return;  // empty queue: the notify is lost, by spec
@@ -198,13 +207,15 @@ bool CondVar::notify_one() {
     tm::defer_wake(&victim->sem);
     notified = true;
   });
-  count_notify(notify_one_calls_, notified ? 1 : 0);
+  count_notify(notify_one_calls_, notified ? 1 : 0, notify_t0);
   return notified;
 }
 
 std::size_t CondVar::notify_all() {
+  const std::uint64_t notify_t0 = notify_begin_ticks();
   std::vector<detail::WaitNode*>& victims = t_victims;
   tm::atomically([&] {
+    TMCV_TXN_SITE_HINT("cv.notify");
     victims.clear();  // the closure may re-execute
     detail::WaitNode* sn = head_.load();
     if (sn == nullptr) return;
@@ -226,13 +237,15 @@ std::size_t CondVar::notify_all() {
   });
   dispatch_wakes(victims);
   const std::size_t count = victims.size();
-  count_notify(notify_all_calls_, count);
+  count_notify(notify_all_calls_, count, notify_t0);
   return count;
 }
 
 std::size_t CondVar::notify_n(std::size_t n) {
+  const std::uint64_t notify_t0 = notify_begin_ticks();
   std::vector<detail::WaitNode*>& victims = t_victims;
   tm::atomically([&] {
+    TMCV_TXN_SITE_HINT("cv.notify");
     victims.clear();  // the closure may re-execute
     if (n == 0) return;
     if (policy_ == WakePolicy::FIFO) {
@@ -288,7 +301,7 @@ std::size_t CondVar::notify_n(std::size_t n) {
   });
   dispatch_wakes(victims);
   const std::size_t count = victims.size();
-  count_notify(notify_all_calls_, count);
+  count_notify(notify_all_calls_, count, notify_t0);
   return count;
 }
 

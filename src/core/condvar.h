@@ -286,6 +286,7 @@ class CondVar {
   // user space.  Returns whether a waiter was selected.
   template <typename Score>
   bool notify_best(Score&& score) {
+    const std::uint64_t notify_t0 = notify_begin_ticks();
     bool notified = false;
     tm::atomically([&] {
       notified = false;  // the closure may re-execute
@@ -311,7 +312,7 @@ class CondVar {
       tm::defer_wake(&best->sem);
       notified = true;
     });
-    count_notify(notify_best_calls_, notified ? 1 : 0);
+    count_notify(notify_best_calls_, notified ? 1 : 0, notify_t0);
     return notified;
   }
 
@@ -353,6 +354,12 @@ class CondVar {
 #else
     return 0;
 #endif
+  }
+
+  // Grant instant of a notify, captured before its queue transaction (see
+  // count_notify for why the ordering matters).
+  [[nodiscard]] static std::uint64_t notify_begin_ticks() noexcept {
+    return wait_begin_ticks();
   }
 
   // Post-wake bookkeeping shared by every wait flavour.
@@ -451,17 +458,24 @@ class CondVar {
     }
   }
 
-  void count_notify(std::atomic<std::uint64_t>& calls,
-                    std::size_t woken) noexcept {
+  // `t0` is the notify's grant instant, captured BEFORE the queue
+  // transaction (notify_begin_ticks): the trace record must precede every
+  // wake it causes, or the offline causal check (tools/trace_report.py
+  // --causal) would see wakes without tokens whenever a victim stamps its
+  // wait-end before the notifier regains the CPU.
+  void count_notify(std::atomic<std::uint64_t>& calls, std::size_t woken,
+                    std::uint64_t t0) noexcept {
     calls.fetch_add(1, std::memory_order_relaxed);
     if (woken == 0)
       lost_notifies_.fetch_add(1, std::memory_order_relaxed);
     else
       threads_woken_.fetch_add(woken, std::memory_order_relaxed);
 #if TMCV_TRACE
-    obs::emit_instant(obs::Event::kCvNotify,
-                      static_cast<std::uint16_t>(
-                          woken > 0xffff ? 0xffff : woken));
+    obs::emit_instant_at(obs::Event::kCvNotify, t0,
+                         static_cast<std::uint16_t>(
+                             woken > 0xffff ? 0xffff : woken));
+#else
+    (void)t0;
 #endif
   }
 

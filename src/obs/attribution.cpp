@@ -1,0 +1,77 @@
+// Fold half of conflict attribution: merge the sharded counter tables into
+// sorted snapshots (capture half in attribution.h; export in metrics.cpp).
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tmcv::obs {
+
+namespace {
+
+// Merge replicas (the same key may live in several shards) and sort by
+// count descending, ties by key ascending, so quiescent snapshots are
+// deterministic.
+std::vector<AttrEntry> fold_sorted(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& merged) {
+  std::vector<AttrEntry> out;
+  out.reserve(merged.size());
+  for (const auto& [k, c] : merged) out.push_back({k, c});
+  std::sort(out.begin(), out.end(), [](const AttrEntry& a, const AttrEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+template <unsigned L>
+std::vector<AttrEntry> fold_table(const AttrTable<L>& t) {
+  std::unordered_map<std::uint64_t, std::uint64_t> merged;
+  t.for_each(
+      [&](std::uint64_t k, std::uint64_t c) { merged[k] += c; });
+  return fold_sorted(merged);
+}
+
+std::vector<AttrEntry> subtract(const std::vector<AttrEntry>& now,
+                                const std::vector<AttrEntry>& before) {
+  std::unordered_map<std::uint64_t, std::uint64_t> merged;
+  for (const AttrEntry& e : now) merged[e.key] = e.count;
+  for (const AttrEntry& e : before) {
+    auto it = merged.find(e.key);
+    if (it == merged.end()) continue;
+    it->second = it->second > e.count ? it->second - e.count : 0;
+    if (it->second == 0) merged.erase(it);
+  }
+  return fold_sorted(merged);
+}
+
+}  // namespace
+
+AttributionSnapshot attribution_snapshot() {
+  AttributionSnapshot s;
+  s.abort_sites = fold_table(detail::abort_site_table());
+  s.conflict_pairs = fold_table(detail::conflict_pair_table());
+  s.hot_stripes = fold_table(detail::stripe_table());
+  s.dropped = detail::abort_site_table().overflow() +
+              detail::conflict_pair_table().overflow() +
+              detail::stripe_table().overflow();
+  return s;
+}
+
+AttributionSnapshot attribution_delta(const AttributionSnapshot& now,
+                                      const AttributionSnapshot& before) {
+  AttributionSnapshot d;
+  d.abort_sites = subtract(now.abort_sites, before.abort_sites);
+  d.conflict_pairs = subtract(now.conflict_pairs, before.conflict_pairs);
+  d.hot_stripes = subtract(now.hot_stripes, before.hot_stripes);
+  d.dropped = now.dropped > before.dropped ? now.dropped - before.dropped : 0;
+  return d;
+}
+
+std::uint64_t attr_conflicts_total(const AttributionSnapshot& s) noexcept {
+  std::uint64_t total = 0;
+  for (const AttrEntry& e : s.conflict_pairs) total += e.count;
+  return total;
+}
+
+}  // namespace tmcv::obs

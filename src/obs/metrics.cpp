@@ -18,6 +18,10 @@ MetricsSnapshot metrics_snapshot() {
   const TraceCounts tc = trace_counts();
   s.trace_events = tc.recorded;
   s.trace_dropped = tc.dropped;
+  for_each_ring([&](const TraceRing& r) {
+    s.trace_ring_drops.push_back(RingDrops{r.tid(), r.dropped()});
+  });
+  s.attribution = attribution_snapshot();
   s.cv_wait_ns = hist_cv_wait().snapshot();
   s.notify_wake_ns = hist_notify_wake().snapshot();
   s.txn_commit_ns = hist_txn_commit().snapshot();
@@ -36,6 +40,16 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
   d.wake -= before.wake;
   d.trace_events -= before.trace_events;
   d.trace_dropped -= before.trace_dropped;
+  // Rings are immortal and tids stable, so match by tid (a ring absent from
+  // `before` was born in between: its whole count is delta).
+  for (RingDrops& rd : d.trace_ring_drops)
+    for (const RingDrops& bd : before.trace_ring_drops)
+      if (bd.tid == rd.tid) {
+        rd.dropped =
+            rd.dropped > bd.dropped ? rd.dropped - bd.dropped : 0;
+        break;
+      }
+  d.attribution = attribution_delta(now.attribution, before.attribution);
   d.cv_wait_ns -= before.cv_wait_ns;
   d.notify_wake_ns -= before.notify_wake_ns;
   d.txn_commit_ns -= before.txn_commit_ns;
@@ -63,6 +77,25 @@ void for_each_hist(const MetricsSnapshot& s,
   fn({"serial_stall_ns", &s.serial_stall_ns});
   fn({"cm_backoff_ns", &s.cm_backoff_ns});
   fn({"spin_park_ns", &s.spin_park_ns});
+}
+
+// Top-N slice exported for the attribution tables (the snapshot itself is
+// unsliced; totals are always computed over everything).
+constexpr std::size_t kExportTopN = 10;
+
+// Escape a string for both JSON strings and Prometheus label values (the
+// escape sets coincide for the characters site names can contain).
+std::string escaped(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    if (*s == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(*s);
+  }
+  return out;
 }
 
 }  // namespace
@@ -100,7 +133,48 @@ std::string to_json(const MetricsSnapshot& s) {
   });
   os << "\n  },\n  \"trace\": {\n    \"events\": " << s.trace_events
      << ",\n    \"dropped\": " << s.trace_dropped
-     << "\n  },\n  \"histograms\": {\n";
+     << ",\n    \"per_thread_drops\": {";
+  first = true;
+  for (const RingDrops& rd : s.trace_ring_drops) {
+    os << (first ? "" : ", ") << "\"" << rd.tid << "\": " << rd.dropped;
+    first = false;
+  }
+  os << "}\n  },\n  \"attribution\": {\n    \"conflicts_recorded\": "
+     << attr_conflicts_total(s.attribution)
+     << ",\n    \"dropped\": " << s.attribution.dropped
+     << ",\n    \"abort_sites\": [";
+  first = true;
+  for (std::size_t i = 0;
+       i < s.attribution.abort_sites.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.abort_sites[i];
+    os << (first ? "" : ", ") << "\n      {\"site\": \""
+       << escaped(site_name(attr_key_site(e.key))) << "\", \"reason\": \""
+       << attr_reason_name(attr_key_reason(e.key))
+       << "\", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "],\n    \"conflict_pairs\": [";
+  first = true;
+  for (std::size_t i = 0;
+       i < s.attribution.conflict_pairs.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.conflict_pairs[i];
+    os << (first ? "" : ", ") << "\n      {\"victim\": \""
+       << escaped(site_name(attr_pair_victim(e.key))) << "\", \"attacker\": \""
+       << escaped(site_name(attr_pair_attacker(e.key)))
+       << "\", \"reason\": \"" << attr_reason_name(attr_key_reason(e.key))
+       << "\", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "],\n    \"hot_stripes\": [";
+  first = true;
+  for (std::size_t i = 0;
+       i < s.attribution.hot_stripes.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.hot_stripes[i];
+    os << (first ? "" : ", ") << "\n      {\"stripe\": "
+       << attr_stripe_index(e.key) << ", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "]\n  },\n  \"histograms\": {\n";
   first = true;
   for_each_hist(s, [&](const NamedHist& h) {
     char mean[64];
@@ -120,35 +194,97 @@ std::string to_json(const MetricsSnapshot& s) {
 
 std::string to_prometheus(const MetricsSnapshot& s) {
   std::ostringstream os;
+  // Every family gets a # HELP / # TYPE header (in that order, once) before
+  // its samples -- tests/obs_prom_test.cpp enforces the pairing.
+  const auto header = [&](const std::string& name, const char* type,
+                          const char* help) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " " << type << "\n";
+  };
   tm::Stats::for_each_field([&](const char* name,
                                 std::uint64_t tm::Stats::*field) {
-    os << "# TYPE tmcv_tm_" << name << "_total counter\n"
-       << "tmcv_tm_" << name << "_total " << s.tm.*field << "\n";
+    const std::string metric = std::string("tmcv_tm_") + name + "_total";
+    header(metric, "counter", "Cumulative TM runtime counter (tm::Stats).");
+    os << metric << " " << s.tm.*field << "\n";
   });
   CondVarStats::for_each_field([&](const char* name,
                                    std::uint64_t CondVarStats::*field) {
-    os << "# TYPE tmcv_cv_" << name << "_total counter\n"
-       << "tmcv_cv_" << name << "_total " << s.cv.*field << "\n";
+    const std::string metric = std::string("tmcv_cv_") + name + "_total";
+    header(metric, "counter",
+           "Cumulative condition-variable counter (CondVarStats).");
+    os << metric << " " << s.cv.*field << "\n";
   });
   WakeStats::for_each_field([&](const char* name,
                                 std::uint64_t WakeStats::*field) {
-    os << "# TYPE tmcv_wake_" << name << "_total counter\n"
-       << "tmcv_wake_" << name << "_total " << s.wake.*field << "\n";
+    const std::string metric = std::string("tmcv_wake_") + name + "_total";
+    header(metric, "counter",
+           "Cumulative wake-path counter (spin-then-park / wait morphing).");
+    os << metric << " " << s.wake.*field << "\n";
   });
-  os << "# TYPE tmcv_trace_events gauge\ntmcv_trace_events "
-     << s.trace_events << "\n"
-     << "# TYPE tmcv_trace_dropped_total counter\ntmcv_trace_dropped_total "
-     << s.trace_dropped << "\n";
+  header("tmcv_trace_events", "gauge",
+         "Trace records currently retained across all rings.");
+  os << "tmcv_trace_events " << s.trace_events << "\n";
+  header("tmcv_trace_dropped_total", "counter",
+         "Trace records lost to ring wraparound (all threads).");
+  os << "tmcv_trace_dropped_total " << s.trace_dropped << "\n";
+  header("tmcv_trace_drops_total", "counter",
+         "Trace records lost to ring wraparound, by capture thread.");
+  for (const RingDrops& rd : s.trace_ring_drops)
+    os << "tmcv_trace_drops_total{tid=\"" << rd.tid << "\"} " << rd.dropped
+       << "\n";
+  // Conflict attribution: top-N slices of the sharded tables, plus the
+  // all-pairs total so completeness (sum == aborts_conflict) stays
+  // checkable even when the top-N slice truncates.
+  header("tmcv_attr_aborts_total", "counter",
+         "Aborts by victim transaction site and reason (top sites).");
+  for (std::size_t i = 0;
+       i < s.attribution.abort_sites.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.abort_sites[i];
+    os << "tmcv_attr_aborts_total{site=\""
+       << escaped(site_name(attr_key_site(e.key))) << "\",reason=\""
+       << attr_reason_name(attr_key_reason(e.key)) << "\"} " << e.count
+       << "\n";
+  }
+  header("tmcv_attr_conflict_pairs_total", "counter",
+         "Conflict aborts by (victim site, attacker site) pair (top pairs).");
+  for (std::size_t i = 0;
+       i < s.attribution.conflict_pairs.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.conflict_pairs[i];
+    os << "tmcv_attr_conflict_pairs_total{victim=\""
+       << escaped(site_name(attr_pair_victim(e.key))) << "\",attacker=\""
+       << escaped(site_name(attr_pair_attacker(e.key))) << "\",reason=\""
+       << attr_reason_name(attr_key_reason(e.key)) << "\"} " << e.count
+       << "\n";
+  }
+  header("tmcv_attr_stripe_conflicts_total", "counter",
+         "Conflict aborts by orec stripe index (top stripes).");
+  for (std::size_t i = 0;
+       i < s.attribution.hot_stripes.size() && i < kExportTopN; ++i) {
+    const AttrEntry& e = s.attribution.hot_stripes[i];
+    os << "tmcv_attr_stripe_conflicts_total{stripe=\""
+       << attr_stripe_index(e.key) << "\"} " << e.count << "\n";
+  }
+  header("tmcv_attr_conflicts_recorded_total", "counter",
+         "Conflict aborts recorded by attribution, all pairs (equals "
+         "tmcv_tm_aborts_conflict_total when attribution ran the whole "
+         "time and nothing dropped).");
+  os << "tmcv_attr_conflicts_recorded_total "
+     << attr_conflicts_total(s.attribution) << "\n";
+  header("tmcv_attr_dropped_total", "counter",
+         "Attribution increments lost to counter-table overflow.");
+  os << "tmcv_attr_dropped_total " << s.attribution.dropped << "\n";
   for_each_hist(s, [&](const NamedHist& h) {
-    os << "# TYPE tmcv_" << h.name << " summary\n";
+    const std::string metric = std::string("tmcv_") + h.name;
+    header(metric, "summary",
+           "Latency distribution in nanoseconds (log-bucketed histogram).");
     static constexpr std::pair<double, const char*> kQuantiles[] = {
         {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}};
     for (const auto& [q, label] : kQuantiles) {
-      os << "tmcv_" << h.name << "{quantile=\"" << label << "\"} "
+      os << metric << "{quantile=\"" << label << "\"} "
          << h.hist->percentile(q) << "\n";
     }
-    os << "tmcv_" << h.name << "_sum " << h.hist->sum << "\n"
-       << "tmcv_" << h.name << "_count " << h.hist->count << "\n";
+    os << metric << "_sum " << h.hist->sum << "\n"
+       << metric << "_count " << h.hist->count << "\n";
   });
   return os.str();
 }

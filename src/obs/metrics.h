@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/condvar.h"
+#include "obs/attribution.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
 #include "sync/wake_stats.h"
@@ -25,12 +26,21 @@
 
 namespace tmcv::obs {
 
+// One trace ring's drop count (per-thread: a scraper can tell WHOSE data is
+// incomplete, not just that some ring wrapped).
+struct RingDrops {
+  std::uint32_t tid = 0;
+  std::uint64_t dropped = 0;
+};
+
 struct MetricsSnapshot {
   tm::Stats tm;        // folded over live + retired TM threads
   CondVarStats cv;     // folded over live + destroyed condition variables
   WakeStats wake;      // process-wide spin/park and wait-morph counters
   std::uint64_t trace_events = 0;   // records retained across all rings
   std::uint64_t trace_dropped = 0;  // records lost to ring wraparound
+  std::vector<RingDrops> trace_ring_drops;  // per-ring breakdown (every ring)
+  AttributionSnapshot attribution;  // conflict attribution (sorted, unsliced)
 
   HistogramSnapshot cv_wait_ns;       // condvar enqueue -> wakeup
   HistogramSnapshot notify_wake_ns;   // notify selection -> waiter running

@@ -1,0 +1,63 @@
+// Live telemetry endpoint: scrape the metrics registry from a RUNNING
+// process instead of waiting for an exit dump.
+//
+// A background pump thread snapshots the registry every
+// `snapshot_interval_ms` and retains a small ring of deltas (activity per
+// interval); an accept thread serves a minimal blocking HTTP/1.0 loop bound
+// to 127.0.0.1:
+//
+//   GET /metrics       Prometheus text exposition (to_prometheus)
+//   GET /metrics.json  full JSON snapshot (to_json)
+//   GET /healthz       liveness + activity over the most recent interval
+//   GET /profile       conflict-attribution top-N (abort sites, conflict
+//                      pairs, hot stripes), JSON
+//
+// Scope: a debugging/bench endpoint, deliberately minimal -- one request
+// per connection, GET only, no TLS, loopback only.  Production deployments
+// would sit a real exporter in front; this exists so `curl
+// localhost:PORT/profile` works mid-run (the ROADMAP's "scrapeable from a
+// running process" requirement) and so CI can assert the attribution lists
+// are non-empty while the contended bench is still executing.
+//
+// The C API face (tmcv_telemetry_start/stop, declared in core/c_api.h) is
+// defined here in the obs library, keeping tmcv_core free of any obs
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace tmcv::obs {
+
+struct TelemetryOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (read the bound port after start)
+  std::uint32_t snapshot_interval_ms = 250;
+  std::uint32_t delta_ring = 16;  // retained per-interval deltas
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer();
+  ~TelemetryServer();  // stops if running
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Bind, spawn the pump + accept threads.  Returns false if already
+  // running or the socket could not be bound.
+  bool start(const TelemetryOptions& opts = {});
+
+  // Shut the listen socket, join both threads.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+
+  // Bound port (valid after a successful start; 0 otherwise).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tmcv::obs

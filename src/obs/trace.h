@@ -120,8 +120,10 @@ static_assert(sizeof(TraceEvent) == 24);
 // ---------------------------------------------------------------------------
 
 // Bit 0: latency timing (histograms).  Bit 1: event capture (rings).
+// Bit 2: conflict attribution (sharded counter tables, obs/attribution.h).
 inline constexpr std::uint32_t kTimingBit = 1u;
 inline constexpr std::uint32_t kTraceBit = 2u;
+inline constexpr std::uint32_t kAttrBit = 4u;
 
 namespace detail {
 inline std::atomic<std::uint32_t> g_flags{0};
@@ -145,11 +147,21 @@ inline void set_trace_enabled(bool on) noexcept {
     detail::g_flags.fetch_and(~kTraceBit, std::memory_order_relaxed);
 }
 
+inline void set_attribution_enabled(bool on) noexcept {
+  if (on)
+    detail::g_flags.fetch_or(kAttrBit, std::memory_order_relaxed);
+  else
+    detail::g_flags.fetch_and(~kAttrBit, std::memory_order_relaxed);
+}
+
 [[nodiscard]] inline bool timing_enabled() noexcept {
   return (flags() & kTimingBit) != 0;
 }
 [[nodiscard]] inline bool trace_enabled() noexcept {
   return (flags() & kTraceBit) != 0;
+}
+[[nodiscard]] inline bool attribution_enabled() noexcept {
+  return (flags() & kAttrBit) != 0;
 }
 
 // Timestamp for a region start: 0 when the layer is entirely off, so the
@@ -295,6 +307,16 @@ inline std::uint64_t emit_complete(Event type, std::uint64_t t0,
 inline void emit_instant(Event type, std::uint16_t arg = 0) noexcept {
   if ((flags() & kTraceBit) == 0) return;
   detail::my_ring().push(type, TscClock::now(), 0, arg);
+}
+
+// Instant with a caller-captured timestamp (a region_begin() result; no-op
+// when that returned 0).  Used where the logical time of the event precedes
+// the point where its payload is known -- e.g. a notify's grant instant is
+// before the queue transaction, its woken count after.
+inline void emit_instant_at(Event type, std::uint64_t ts,
+                            std::uint16_t arg = 0) noexcept {
+  if ((flags() & kTraceBit) == 0 || ts == 0) return;
+  detail::my_ring().push(type, ts, 0, arg);
 }
 
 // Capture-side totals for the metrics registry.

@@ -205,6 +205,7 @@ void run_optimistic(Backend backend, F&& fn) {
       // exhausted is the adaptive (karma-style) escalation; count it apart
       // from plain budget exhaustion.
       if (!hard_fail && attempt <= budget) ++d.stats().cm_serial_escalations;
+      cm_note_serial_escalation(d.txn_site());
       if (backend == Backend::HTM) note_htm_fallback();
       d.begin_serial();
       try {

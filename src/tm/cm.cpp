@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/attribution.h"
+
 namespace tmcv::tm {
 
 namespace {
@@ -36,6 +38,14 @@ void cm_set_orec_wait_rounds(std::uint32_t rounds) noexcept {
 
 std::uint32_t cm_orec_wait_rounds() noexcept {
   return g_orec_wait_rounds.load(std::memory_order_relaxed);
+}
+
+void cm_note_serial_escalation(std::uint16_t site) noexcept {
+#if TMCV_TRACE
+  obs::attr_record_escalation(site);
+#else
+  (void)site;
+#endif
 }
 
 int htm_attempt_budget() noexcept {

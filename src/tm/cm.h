@@ -64,6 +64,13 @@ void cm_set_conflict_streak_limit(std::uint32_t k) noexcept;
 void cm_set_orec_wait_rounds(std::uint32_t rounds) noexcept;
 [[nodiscard]] std::uint32_t cm_orec_wait_rounds() noexcept;
 
+// Attribution hook: a transaction labeled `site` (obs/attribution.h; 0 =
+// unattributed) escalated to the serial lock.  Recorded alongside the
+// abort-reason breakdown so TUNING's cm_set_conflict_streak_limit guidance
+// can point at which call sites escalate.  Compiles to nothing with
+// TMCV_TRACE=0; always callable (api.h calls it unconditionally).
+void cm_note_serial_escalation(std::uint16_t site) noexcept;
+
 // ---- HTM serial-fallback hysteresis (anti-lemming) ----
 
 // Current hardware attempt budget: kHtmAttemptsBeforeSerial shifted down by

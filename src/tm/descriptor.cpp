@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/attribution.h"
 #include "obs/hooks.h"
 #include "sync/futex.h"
 #include "sync/semaphore.h"
@@ -185,6 +186,12 @@ void TxDescriptor::begin_top(Backend b, std::uint32_t depth) {
   new_log_epoch();
 #if TMCV_TRACE
   txn_begin_ticks_ = obs::region_begin();
+  // Attribution state is per-transaction: clear the site label (so one
+  // never leaks into the next, unlabeled transaction) and any stale
+  // conflict-orec note.
+  attr_site_.store(0, std::memory_order_relaxed);
+  attr_stripe_ = kNoConflictOrec;
+  attr_owner_slot_ = kNoConflictOrec;
 #endif
 }
 
@@ -256,6 +263,36 @@ void TxDescriptor::abort_restart(TxAbort::Reason reason) {
       break;  // counted in retry_and_wait
   }
   cm_.note_abort(reason);
+#if TMCV_TRACE
+  // Attribution reason codes mirror TxAbort::Reason numerically.
+  static_assert(static_cast<std::uint16_t>(TxAbort::Reason::Conflict) ==
+                obs::kAttrReasonConflict);
+  static_assert(static_cast<std::uint16_t>(TxAbort::Reason::RetryWait) ==
+                obs::kAttrReasonRetryWait);
+  {
+    const std::uint16_t victim = txn_site();
+    obs::attr_record_abort(victim, static_cast<std::uint16_t>(reason));
+    if (reason == TxAbort::Reason::Conflict) {
+      // Name the attacker through the owning descriptor of the culprit orec
+      // (racy-but-approximate: the owner may have moved on; the victim and
+      // stripe halves are exact).  Conflicts with no captured orec (chaos
+      // aborts, CAS races) attribute to site 0 so the pair counts still sum
+      // to aborts_conflict.
+      std::uint16_t attacker = obs::kUnattributedSite;
+      if (attr_owner_slot_ != kNoConflictOrec) {
+        if (const TxDescriptor* a = registry().descriptor(attr_owner_slot_))
+          attacker = a->txn_site();
+      }
+      const std::uint32_t stripe =
+          attr_stripe_ == kNoConflictOrec
+              ? obs::kAttrNoStripe
+              : static_cast<std::uint32_t>(attr_stripe_);
+      obs::attr_record_conflict(victim, attacker, stripe);
+    }
+    attr_stripe_ = kNoConflictOrec;
+    attr_owner_slot_ = kNoConflictOrec;
+  }
+#endif
   rollback();
   run_abort_handlers();
   state_ = TxState::Idle;
@@ -288,6 +325,7 @@ void TxDescriptor::retry_and_wait() {
   ++stats_.aborts;
   ++stats_.aborts_retry_wait;
 #if TMCV_TRACE
+  obs::attr_record_abort(txn_site(), obs::kAttrReasonRetryWait);
   obs::region_end(obs::Event::kTxnAbort, txn_begin_ticks_,
                   &obs::hist_txn_abort(),
                   static_cast<std::uint16_t>(TxAbort::Reason::RetryWait));
@@ -406,6 +444,7 @@ std::uint64_t TxDescriptor::read_optimistic(
         return addr->load(std::memory_order_relaxed);
       }
       // Locked by a concurrent writer: conflict.
+      note_conflict_orec(o, seen);
       abort_restart(TxAbort::Reason::Conflict);
     }
     const std::uint64_t value = addr->load(std::memory_order_acquire);
@@ -416,8 +455,11 @@ std::uint64_t TxDescriptor::read_optimistic(
     if (orec_version(seen) > start_time_) {
       // Newer than our snapshot.  HTM has no extension (a real hardware
       // transaction would already have been killed by the coherence probe).
-      if (backend_ == Backend::HTM || !extend())
+      if (backend_ == Backend::HTM) {
+        note_conflict_orec(o, seen);  // extend() captures its own culprit
         abort_restart(TxAbort::Reason::Conflict);
+      }
+      if (!extend()) abort_restart(TxAbort::Reason::Conflict);
       continue;  // revalidated forward; retry against the new snapshot
     }
     // HTM capacity is a per-read footprint (pre-dedup): the emulated buffer
@@ -464,10 +506,16 @@ void TxDescriptor::write_eager(std::atomic<std::uint64_t>* addr,
   for (;;) {
     OrecWord cur = o.load(std::memory_order_acquire);
     if (orec_locked_by_me(cur)) break;  // stripe already owned
-    if (orec_is_locked(cur)) abort_restart(TxAbort::Reason::Conflict);
+    if (orec_is_locked(cur)) {
+      note_conflict_orec(o, cur);
+      abort_restart(TxAbort::Reason::Conflict);
+    }
     if (orec_version(cur) > start_time_) {
-      if (backend_ == Backend::HTM || !extend())
+      if (backend_ == Backend::HTM) {
+        note_conflict_orec(o, cur);  // extend() captures its own culprit
         abort_restart(TxAbort::Reason::Conflict);
+      }
+      if (!extend()) abort_restart(TxAbort::Reason::Conflict);
       continue;
     }
     if (backend_ == Backend::HTM && lock_set_.size() >= kHtmWriteCapacity)
@@ -578,7 +626,10 @@ void TxDescriptor::commit_lazy() {
         // plus release), so a bounded wait usually outlives the holder and
         // turns what was an instant abort into a brief pause.
         cur = wait_for_orec_unlock(*o);
-        if (orec_is_locked(cur)) abort_restart(TxAbort::Reason::Conflict);
+        if (orec_is_locked(cur)) {
+          note_conflict_orec(*o, cur);
+          abort_restart(TxAbort::Reason::Conflict);
+        }
         continue;  // re-run the protocol against the fresh word
       }
       if (orec_version(cur) > start_time_) {
@@ -636,6 +687,9 @@ bool TxDescriptor::reads_valid() const noexcept {
     // A stripe we later locked ourselves is still valid: nobody else could
     // have changed it between our (validated) read and our lock.
     if (orec_locked_by_me(cur)) continue;
+    // Note the failing stripe for attribution (mutable scratch; consumed by
+    // abort_restart if the caller aborts on this result).
+    note_conflict_orec(*e->orec, cur);
     return false;
   }
   return true;

@@ -198,6 +198,28 @@ class TxDescriptor {
   Stats& stats() noexcept { return stats_; }
   ContentionManager& cm() noexcept { return cm_; }
 
+  // ---- conflict attribution (obs/attribution.h) ----
+  //
+  // The TMCV_TXN_SITE macro publishes an interned site id here; abort paths
+  // read the *attacker's* site through the registry to build (victim,
+  // attacker) conflict pairs.  The store is relaxed and the cross-thread
+  // read racy-but-approximate by design: the owner may have moved on by the
+  // time the victim looks, in which case the victim attributes to whatever
+  // transaction the attacker runs now (or site 0 once idle).  Cleared by
+  // begin_top so a label never outlives its transaction.
+  void set_txn_site(std::uint16_t site) noexcept {
+    attr_site_.store(site, std::memory_order_relaxed);
+  }
+  // Library-internal labels (condvar queue ops) must not stomp a user label
+  // on an ambient transaction: set only when unlabeled.
+  void set_txn_site_hint(std::uint16_t site) noexcept {
+    if (attr_site_.load(std::memory_order_relaxed) == 0)
+      attr_site_.store(site, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint16_t txn_site() const noexcept {
+    return attr_site_.load(std::memory_order_relaxed);
+  }
+
   // Jittered backoff between optimistic retries (the one tuned policy, via
   // the contention manager), with stats/obs accounting.
   void backoff_for_retry() noexcept;
@@ -491,6 +513,33 @@ class TxDescriptor {
   // the obs layer is off).  Consumed by the commit/abort hooks to produce
   // txn duration histograms and trace events (src/obs).
   std::uint64_t txn_begin_ticks_ = 0;
+
+  // Conflict attribution: the culprit orec noted by whichever detection
+  // path fires last before an abort (stripe index + the owner slot encoded
+  // in the locked word, or kNoConflictOrec when the culprit was unlocked /
+  // unknown).  abort_restart consumes and clears both.  `mutable` because
+  // reads_valid() is const but is a detection path.
+  static constexpr std::uint64_t kNoConflictOrec = ~0ull;
+  mutable std::uint64_t attr_stripe_ = kNoConflictOrec;
+  mutable std::uint64_t attr_owner_slot_ = kNoConflictOrec;
+
+  // Notes the orec a conflict was just detected on.  Callable unguarded
+  // (contains no obs references); the body still compiles away with tracing
+  // off so the abort paths stay byte-identical to the untraced build.
+  void note_conflict_orec(const Orec& o, OrecWord w) const noexcept {
+#if TMCV_TRACE
+    attr_stripe_ = orec_index(o);
+    attr_owner_slot_ = orec_is_locked(w) ? orec_owner_slot(w) : kNoConflictOrec;
+#else
+    (void)o;
+    (void)w;
+#endif
+  }
+
+  // Interned TMCV_TXN_SITE id for the transaction in flight (0 =
+  // unattributed).  Atomic because abort paths of *other* threads read it
+  // through the registry to name their attacker.
+  std::atomic<std::uint16_t> attr_site_{0};
 
   Stats stats_;
   ContentionManager cm_;

@@ -64,4 +64,10 @@ extern Orec g_orecs[kOrecCount];
 // Direct access to the table (tests exercise striping/aliasing).
 [[nodiscard]] Orec& orec_at(std::uint64_t index) noexcept;
 
+// Stripe index of an orec within the global table (conflict attribution
+// keys its heatmap on this; also handy in tests).
+[[nodiscard]] inline std::uint64_t orec_index(const Orec& o) noexcept {
+  return static_cast<std::uint64_t>(&o - detail::g_orecs);
+}
+
 }  // namespace tmcv::tm

@@ -1,0 +1,118 @@
+// Telemetry-endpoint tests: ephemeral-port bind, all four routes over a raw
+// loopback socket, error statuses, stop/restart, and the C API singleton.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "core/c_api.h"
+#include "obs/telemetry_server.h"
+
+namespace obs = tmcv::obs;
+
+namespace {
+
+// Minimal HTTP client: one request, read to EOF (the server closes after
+// each response).
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    resp.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return resp;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_request(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+TEST(ObsTelemetryTest, ServesAllRoutesOnEphemeralPort) {
+  obs::TelemetryServer server;
+  obs::TelemetryOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.snapshot_interval_ms = 10;
+  ASSERT_TRUE(server.start(opts));
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_FALSE(server.start(opts));  // double start refused
+
+  const std::string prom = http_get(server.port(), "/metrics");
+  EXPECT_NE(prom.find("200 OK"), std::string::npos);
+  EXPECT_NE(prom.find("tmcv_tm_commits_total"), std::string::npos);
+
+  const std::string json = http_get(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"tm\""), std::string::npos);
+  EXPECT_NE(json.find("\"attribution\""), std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+
+  const std::string profile = http_get(server.port(), "/profile");
+  EXPECT_NE(profile.find("200 OK"), std::string::npos);
+  EXPECT_NE(profile.find("\"conflict_pairs\""), std::string::npos);
+  EXPECT_NE(profile.find("\"hot_stripes\""), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.stop();  // idempotent
+
+  // Restart binds a fresh socket and serves again.
+  ASSERT_TRUE(server.start(opts));
+  EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ObsTelemetryTest, CApiSingletonLifecycle) {
+  const int port = tmcv_telemetry_start(0);
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(tmcv_telemetry_start(0), -1);  // already running
+  EXPECT_NE(http_get(static_cast<std::uint16_t>(port), "/healthz")
+                .find("200 OK"),
+            std::string::npos);
+  tmcv_telemetry_stop();
+  tmcv_telemetry_stop();  // idempotent
+
+  const int port2 = tmcv_telemetry_start(0);
+  ASSERT_GT(port2, 0);
+  tmcv_telemetry_stop();
+
+  EXPECT_EQ(tmcv_telemetry_start(-1), -1);      // invalid port
+  EXPECT_EQ(tmcv_telemetry_start(65536), -1);   // invalid port
+}
+
+}  // namespace

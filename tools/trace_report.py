@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Summarize or validate a Chrome trace-event JSON produced by --trace.
+"""Summarize, validate, or causally analyze a --trace Chrome trace JSON.
 
 The runtime's trace writer (src/obs/trace_io.cpp) emits the Chrome/Perfetto
 "JSON Array Format": a top-level object with a `traceEvents` list of complete
@@ -10,6 +10,25 @@ https://ui.perfetto.dev for a timeline; this script gives the terminal view:
     tools/trace_report.py trace.json              # per-event summary table
     tools/trace_report.py trace.json --validate   # schema check, exit 1 on error
     tools/trace_report.py trace.json --tid 3      # restrict to one thread
+    tools/trace_report.py trace.json --causal     # notify->wake edge analysis
+    tools/trace_report.py trace.json --causal --validate   # exit 1 on violation
+
+Causal analysis reconstructs the notify->wake->run edges from the event
+stream and checks token conservation: every cv.notify instant grants
+`arg` wake tokens (the number of waiters it dequeued) and every cv.wait
+completion consumes one at its end timestamp, so at no point may cumulative
+wakes exceed cumulative grants.  Tokens are matched FIFO to estimate the
+notify->run latency distribution, which can be cross-checked against the
+runtime's own notify_wake_ns histogram via --metrics.  The writer does not
+record which condvar an event belongs to, so edges are reconstructed
+process-wide: exact for single-condvar workloads (the herd bench), an
+approximation when several condvars interleave.  Timed-out waits are not
+modeled; run --causal on traces without timeouts.
+
+--morph-strict additionally checks the wait-morphing property offline: a
+multi-waiter notify under a lock scope must make at most one waiter
+runnable per unlock, so the wakes matched to one notify must be serialized
+(strictly increasing end timestamps), never simultaneous.
 
 Only the standard library is used, so the script runs in minimal containers.
 """
@@ -25,6 +44,13 @@ KNOWN_EVENTS = {
     "cv.wait", "cv.notify",
     "sem.wait", "sem.post", "sem.post_batch", "sem.spin",
     "cm.backoff",
+}
+
+# TxAbort::Reason, numerically (src/tm/descriptor.h; asserted to stay in
+# sync with the attribution reason constants in src/obs/attribution.h).
+ABORT_REASONS = {
+    0: "conflict", 1: "capacity", 2: "syscall", 3: "explicit",
+    4: "retry_wait",
 }
 
 REQUIRED_FIELDS = ("name", "ph", "ts", "pid", "tid")
@@ -72,6 +98,47 @@ def validate(doc):
     return problems
 
 
+def event_arg(ev):
+    args = ev.get("args")
+    if isinstance(args, dict) and isinstance(args.get("arg"), (int, float)):
+        return int(args["arg"])
+    return None
+
+
+def decode_args(events):
+    """Per-event arg decoding: lines describing what the args of each event
+    type say in aggregate (abort reasons, waiters woken, batch sizes)."""
+    lines = []
+    aborts = {}
+    notifies = woken = lost = 0
+    batches = batched = 0
+    for ev in events:
+        name = ev.get("name")
+        arg = event_arg(ev)
+        if arg is None:
+            continue
+        if name == "txn.abort":
+            aborts[arg] = aborts.get(arg, 0) + 1
+        elif name == "cv.notify":
+            notifies += 1
+            woken += arg
+            lost += arg == 0
+        elif name == "sem.post_batch":
+            batches += 1
+            batched += arg
+    if aborts:
+        parts = ["%s=%d" % (ABORT_REASONS.get(r, "reason%d" % r), n)
+                 for r, n in sorted(aborts.items())]
+        lines.append("txn.abort reasons:    " + "  ".join(parts))
+    if notifies:
+        lines.append("cv.notify:            %d calls, %d waiters woken, "
+                     "%d lost (empty queue)" % (notifies, woken, lost))
+    if batches:
+        lines.append("sem.post_batch:       %d batches, %d posts, "
+                     "mean batch %.2f" % (batches, batched, batched / batches))
+    return lines
+
+
 def summarize(doc, tid_filter=None):
     events = doc.get("traceEvents", [])
     if tid_filter is not None:
@@ -101,6 +168,133 @@ def summarize(doc, tid_filter=None):
         tag = "" if name in KNOWN_EVENTS else "  (unknown)"
         print("%-20s %8d %12.3f %12.3f %12.3f%s" %
               (name, count, total / 1000.0, total / count, peak, tag))
+    decoded = decode_args(events)
+    if decoded:
+        print()
+        for line in decoded:
+            print(line)
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def causal_report(doc, metrics=None):
+    """Reconstruct notify->wake edges; return (violations, warnings)."""
+    events = doc.get("traceEvents", [])
+    violations = []
+    warnings = []
+
+    # Drops make the stream incomplete: a wake whose notify was overwritten
+    # looks like a conservation violation.  The trace itself carries no drop
+    # counts; they live in the metrics sibling (--metrics).
+    if metrics is not None:
+        drops = metrics.get("trace", {}).get("per_thread_drops", {})
+        total_drops = sum(drops.values()) if isinstance(drops, dict) else 0
+        if total_drops:
+            warnings.append(
+                "trace rings dropped %d events; stream is incomplete, "
+                "skipping strict causal checks" % total_drops)
+            print("\n".join(warnings))
+            return [], warnings
+
+    # Timeline: grants at the notify instant, consumption at the wait end.
+    # Ties grant before they consume (a wake can never precede its notify).
+    timeline = []
+    for ev in events:
+        name = ev.get("name")
+        if name == "cv.notify":
+            woken = event_arg(ev) or 0
+            timeline.append((ev["ts"], 0, woken))
+        elif name == "cv.wait" and ev.get("ph") == "X":
+            end = ev["ts"] + ev.get("dur", 0.0)
+            timeline.append((end, 1, None))
+    timeline.sort(key=lambda t: (t[0], t[1]))
+
+    granted = consumed = 0
+    open_notifies = []  # FIFO of [notify_ts, remaining_tokens]
+    latencies_us = []
+    for when, kind, woken in timeline:
+        if kind == 0:
+            if woken > 0:
+                granted += woken
+                open_notifies.append([when, woken])
+        else:
+            consumed += 1
+            if consumed > granted:
+                if len(violations) < 5:
+                    violations.append(
+                        "wake at t=%.3fus has no matching notify token "
+                        "(%d wakes vs %d granted)" % (when, consumed, granted))
+                continue
+            head = open_notifies[0]
+            latencies_us.append(when - head[0])
+            head[1] -= 1
+            if head[1] == 0:
+                open_notifies.pop(0)
+    if consumed > granted and len(violations) >= 5:
+        violations.append("... (%d unmatched wakes total)"
+                          % (consumed - granted))
+
+    notifies = sum(1 for t in timeline if t[1] == 0)
+    wakes = consumed
+    print("causal: %d notifies granting %d tokens, %d wakes consumed, "
+          "%d tokens unconsumed at end of trace"
+          % (notifies, granted, wakes, max(0, granted - consumed)))
+
+    latencies_us.sort()
+    if latencies_us:
+        print("notify->run latency:  p50=%.1fus  p90=%.1fus  p99=%.1fus  "
+              "max=%.1fus  (%d edges, FIFO-matched)"
+              % (percentile(latencies_us, 0.5), percentile(latencies_us, 0.9),
+                 percentile(latencies_us, 0.99), latencies_us[-1],
+                 len(latencies_us)))
+    if metrics is not None:
+        hist = metrics.get("histograms", {}).get("notify_wake_ns", {})
+        if hist.get("count"):
+            print("notify_wake_ns hist:  p50=%.1fus  p99=%.1fus  (%d samples,"
+                  " runtime-measured; log-bucketed, cross-check only)"
+                  % (hist["p50"] / 1e3, hist["p99"] / 1e3, hist["count"]))
+
+    return violations, warnings
+
+
+def causal_morph_check(doc):
+    """Strict wait-morphing check: wakes matched to one multi-waiter notify
+    must have strictly increasing end timestamps (one runnable per unlock
+    implies serialization; simultaneous end stamps mean a herd stampede)."""
+    events = doc.get("traceEvents", [])
+    timeline = []
+    for ev in events:
+        name = ev.get("name")
+        if name == "cv.notify":
+            woken = event_arg(ev) or 0
+            timeline.append((ev["ts"], 0, woken))
+        elif name == "cv.wait" and ev.get("ph") == "X":
+            timeline.append((ev["ts"] + ev.get("dur", 0.0), 1, None))
+    timeline.sort(key=lambda t: (t[0], t[1]))
+    violations = []
+    open_notifies = []
+    for when, kind, woken in timeline:
+        if kind == 0:
+            if woken > 0:
+                open_notifies.append([when, woken, None])
+        elif open_notifies:
+            head = open_notifies[0]
+            if head[1] > 1 and head[2] is not None and when <= head[2]:
+                if len(violations) < 5:
+                    violations.append(
+                        "morph: wakes at t=%.3fus and t=%.3fus from the "
+                        "notify at t=%.3fus are not serialized"
+                        % (head[2], when, head[0]))
+            head[2] = when
+            head[1] -= 1
+            if head[1] == 0:
+                open_notifies.pop(0)
+    return violations
 
 
 def main(argv=None):
@@ -108,9 +302,20 @@ def main(argv=None):
         description="Summarize/validate a Chrome trace from --trace.")
     ap.add_argument("trace", help="path to the trace JSON")
     ap.add_argument("--validate", action="store_true",
-                    help="schema-check only; exit 1 if invalid")
+                    help="check only; exit 1 on schema (or, with --causal, "
+                         "causal) violations")
     ap.add_argument("--tid", type=int, default=None,
                     help="summarize a single thread id")
+    ap.add_argument("--causal", action="store_true",
+                    help="reconstruct notify->wake edges, check token "
+                         "conservation, report notify->run latency")
+    ap.add_argument("--morph-strict", action="store_true",
+                    help="with --causal: require the wakes of each "
+                         "multi-waiter notify to be serialized "
+                         "(wait-morphing property)")
+    ap.add_argument("--metrics", default=None,
+                    help="metrics JSON sibling (drop counts gate the strict "
+                         "checks; notify_wake_ns cross-checks the latency)")
     args = ap.parse_args(argv)
 
     try:
@@ -119,12 +324,35 @@ def main(argv=None):
         print("error: %s" % e, file=sys.stderr)
         return 1
 
-    problems = validate(doc)
-    if args.validate:
-        if problems:
-            for p in problems:
-                print("invalid: %s" % p, file=sys.stderr)
+    metrics = None
+    if args.metrics is not None:
+        try:
+            metrics = load(args.metrics)
+        except (OSError, json.JSONDecodeError) as e:
+            print("error: %s" % e, file=sys.stderr)
             return 1
+
+    problems = validate(doc)
+    if problems and (args.validate or args.causal):
+        for p in problems:
+            print("invalid: %s" % p, file=sys.stderr)
+        if args.validate:
+            return 1
+
+    if args.causal:
+        violations, _warnings = causal_report(doc, metrics=metrics)
+        if args.morph_strict and not _warnings:
+            violations += causal_morph_check(doc)
+        for v in violations:
+            print("violation: %s" % v, file=sys.stderr)
+        if violations:
+            print("causal check FAILED (%d violations)" % len(violations),
+                  file=sys.stderr)
+            return 1 if args.validate else 0
+        print("causal check ok")
+        return 0
+
+    if args.validate:
         print("ok: %d events" % len(doc["traceEvents"]))
         return 0
 
