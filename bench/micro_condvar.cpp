@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cerrno>
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -556,8 +557,8 @@ int main(int argc, char** argv) {
     const int port = tmcv_telemetry_start(serve_port);
     if (port < 0) {
       std::fprintf(stderr,
-                   "micro_condvar: failed to start telemetry on port %d\n",
-                   serve_port);
+                   "micro_condvar: failed to start telemetry on port %d: %s\n",
+                   serve_port, std::strerror(errno));
       return 1;
     }
     std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);

@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +34,7 @@
 #include "tm/api.h"
 #include "tm/var.h"
 #include "util/timing.h"
+#include "util/zipf.h"
 
 namespace {
 
@@ -259,32 +261,6 @@ constexpr int kCwPickSets = 256;  // pre-drawn picks cycled per thread
 constexpr int kCwHeavyEvery = 32;
 constexpr int kCwHeavyWrites = 96;
 
-struct ZipfSampler {
-  double cdf[kCwVars];
-  ZipfSampler() {
-    double total = 0;
-    for (int i = 0; i < kCwVars; ++i) total += 1.0 / std::pow(i + 1, kCwTheta);
-    double acc = 0;
-    for (int i = 0; i < kCwVars; ++i) {
-      acc += 1.0 / std::pow(i + 1, kCwTheta) / total;
-      cdf[i] = acc;
-    }
-    cdf[kCwVars - 1] = 1.0;
-  }
-  int operator()(tmcv::Xoshiro256& rng) const {
-    const double u = rng.next_double();
-    int lo = 0, hi = kCwVars - 1;
-    while (lo < hi) {
-      const int mid = (lo + hi) / 2;
-      if (cdf[mid] < u)
-        lo = mid + 1;
-      else
-        hi = mid;
-    }
-    return lo;
-  }
-};
-
 struct ContendedPickSet {
   int reads[kCwReads];
   int writes[kCwWrites - 1];
@@ -298,7 +274,9 @@ struct ContendedState {
   // Per-thread large regions for the capacity-busting transactions.
   std::vector<std::vector<std::unique_ptr<var<std::uint64_t>>>> heavy;
   std::vector<std::vector<ContendedPickSet>> picks;  // [thread][set]
-  ZipfSampler zipf;
+  // The shared generator (util/zipf.h): identical draws here and in
+  // bench/kv_loadgen, deterministic under a fixed seed.
+  tmcv::ZipfDistribution zipf{kCwVars, kCwTheta};
   ContendedState() {
     for (int i = 0; i < kCwVars; ++i)
       arr.push_back(std::make_unique<var<std::uint64_t>>(0));
@@ -311,8 +289,8 @@ struct ContendedState {
       tmcv::Xoshiro256 rng(0xC0417EDEDull + t);
       std::vector<ContendedPickSet> sets(kCwPickSets);
       for (auto& ps : sets) {
-        for (int& r : ps.reads) r = zipf(rng);
-        for (int& w : ps.writes) w = zipf(rng);
+        for (int& r : ps.reads) r = static_cast<int>(zipf(rng));
+        for (int& w : ps.writes) w = static_cast<int>(zipf(rng));
       }
       picks.push_back(std::move(sets));
     }
@@ -618,8 +596,9 @@ int main(int argc, char** argv) {
     tmcv::obs::set_attribution_enabled(true);
     const int port = tmcv_telemetry_start(serve_port);
     if (port < 0) {
-      std::fprintf(stderr, "micro_tm: failed to start telemetry on port %d\n",
-                   serve_port);
+      std::fprintf(stderr,
+                   "micro_tm: failed to start telemetry on port %d: %s\n",
+                   serve_port, std::strerror(errno));
       return 1;
     }
     std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);

@@ -1,0 +1,84 @@
+// Sharded transactional KV-cache server (the tentpole app): a bounded
+// TxLruMap store behind a thread-pool accept/worker pipeline whose work
+// queue signals with the transaction-friendly condition variables
+// (apps/task_queue.h under TxnPolicy), speaking the text protocol of
+// protocol.h over localhost TCP.
+//
+// Thread structure (N = options.workers):
+//
+//   accept thread --- accept(), hand new connections to the poller
+//   poller thread --- poll() over every idle connection + a self-pipe;
+//                     readable connections are dispatched as tasks
+//   N workers     --- block in TaskQueueSet::take (tmcv condvar wait),
+//                     drain one connection's readable bytes, run one
+//                     transaction per request against the store, flush one
+//                     batched response write, re-arm the connection
+//
+// A connection is owned by exactly one stage at a time (idle: poller;
+// dispatched: the worker that took it), so connection state needs no lock.
+// Store operations are labeled with TMCV_TXN_SITE ("kv.get"/"kv.set"/
+// "kv.del") so the conflict-attribution profiler names this workload's
+// victim x attacker pairs.
+//
+// Observability: counters register with obs::register_app_counters, so a
+// `--serve-metrics` telemetry endpoint (or any embedding process calling
+// obs::metrics_snapshot) sees kv_* counters next to the TM runtime's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tmds/tx_lru_map.h"
+
+namespace tmcv::apps::kv {
+
+struct KvOptions {
+  std::uint16_t port = 0;      // 0: kernel-assigned (see KvServer::port())
+  unsigned workers = 4;        // worker threads (>= 1)
+  std::size_t shards = 8;      // power of two
+  std::size_t capacity_per_shard = 4096;
+  std::size_t buckets_per_shard = 4096;  // power of two
+  std::size_t queue_capacity = 1024;     // per-worker dispatch ring slots
+  // Telemetry endpoint: -1 = off, 0 = ephemeral port, else fixed port.
+  int metrics_port = -1;
+};
+
+// Process-visible activity counters (relaxed; exact at quiescence).
+struct KvCounters {
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t dels = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t connections = 0;  // accepted, lifetime
+  std::uint64_t batches = 0;      // worker dispatches processed
+};
+
+class KvServer {
+ public:
+  KvServer();
+  ~KvServer();  // stops if running
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Bind, spawn threads, optionally start telemetry.  False on failure with
+  // errno describing the failing syscall (EADDRINUSE: port taken).
+  bool start(const KvOptions& options);
+
+  // Idempotent; joins every thread and closes every connection.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  [[nodiscard]] std::uint16_t port() const noexcept;          // bound port
+  [[nodiscard]] std::uint16_t metrics_port() const noexcept;  // 0 when off
+
+  // Exact store statistics (per-shard transactions, summed).
+  [[nodiscard]] tmds::LruStats store_stats() const;
+  [[nodiscard]] KvCounters counters() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tmcv::apps::kv

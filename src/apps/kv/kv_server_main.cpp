@@ -1,0 +1,124 @@
+// Standalone KV-cache server binary.
+//
+//   tmcv_kv_server [--port N] [--workers N] [--shards N] [--capacity N]
+//                  [--buckets N] [--serve-metrics[=PORT]]
+//
+// Prints the bound data port (and metrics port when enabled) on stdout,
+// then runs until SIGINT/SIGTERM.  Port 0 (the default) asks the kernel
+// for a free port -- scripts parse the "listening on" line.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "apps/kv/kv_server.h"
+#include "util/cpu.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--shards N]\n"
+               "          [--capacity N] [--buckets N] [--serve-metrics[=PORT]]\n"
+               "  --port N           data port (default 0 = kernel-assigned)\n"
+               "  --workers N        worker threads (default: online CPUs)\n"
+               "  --shards N         store shards, power of two (default 8)\n"
+               "  --capacity N       entries per shard (default 4096)\n"
+               "  --buckets N        hash buckets per shard, power of two "
+               "(default 4096)\n"
+               "  --serve-metrics    telemetry endpoint (PORT omitted or 0: "
+               "ephemeral)\n",
+               argv0);
+}
+
+bool parse_unsigned(const char* s, long& out) {
+  char* end = nullptr;
+  out = std::strtol(s, &end, 10);
+  return end != s && *end == '\0' && out >= 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tmcv::apps::kv::KvOptions opts;
+  opts.workers = tmcv::effective_cpus();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long value = 0;
+    const auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--port") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, value) || value > 65535) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.port = static_cast<std::uint16_t>(value);
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, value) || value < 1) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.workers = static_cast<unsigned>(value);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, value) || value < 1) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.shards = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--capacity") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, value) || value < 1) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.capacity_per_shard = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--buckets") == 0) {
+      const char* v = next();
+      if (v == nullptr || !parse_unsigned(v, value) || value < 1) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.buckets_per_shard = static_cast<std::size_t>(value);
+    } else if (std::strcmp(arg, "--serve-metrics") == 0) {
+      opts.metrics_port = 0;
+    } else if (std::strncmp(arg, "--serve-metrics=", 16) == 0) {
+      if (!parse_unsigned(arg + 16, value) || value > 65535) {
+        usage(argv[0]);
+        return 2;
+      }
+      opts.metrics_port = static_cast<int>(value);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  tmcv::apps::kv::KvServer server;
+  if (!server.start(opts)) {
+    std::fprintf(stderr, "tmcv_kv_server: start failed: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  std::printf("kv-server listening on 127.0.0.1:%u (%u workers, %zu shards)\n",
+              server.port(), opts.workers, opts.shards);
+  if (opts.metrics_port >= 0)
+    std::printf("kv-server metrics on http://127.0.0.1:%u/metrics.json\n",
+                server.metrics_port());
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM (sigwait: no handler-safety concerns).
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("kv-server: signal %d, shutting down\n", sig);
+  server.stop();
+  return 0;
+}

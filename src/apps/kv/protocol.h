@@ -1,0 +1,131 @@
+// Wire protocol of the transactional KV-cache server: newline-delimited
+// text, one request per line, chosen for debuggability (drive it with nc)
+// and parse cost (one scan per line, no allocation).
+//
+//   get <key>\n          ->  V <value>\n   |  M\n        (miss)
+//   set <key> <value>\n  ->  S\n
+//   del <key>\n          ->  D\n           |  M\n        (absent)
+//   stats\n              ->  ST hits=<h> misses=<m> evictions=<e> size=<s>\n
+//   quit\n               ->  (connection closed)
+//   anything else        ->  E bad\n
+//
+// Keys are arbitrary byte strings (no spaces/newlines) hashed to 64 bits
+// with FNV-1a; the store indexes the hash.  At 2^64 key space the collision
+// probability across even hundreds of millions of distinct keys is
+// negligible for a cache (a collision returns a stale value, never corrupts
+// the store).  Values are unsigned 64-bit decimals.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tmcv::apps::kv {
+
+enum class OpKind : std::uint8_t { kGet, kSet, kDel, kStats, kQuit, kBad };
+
+struct Request {
+  OpKind kind = OpKind::kBad;
+  std::uint64_t key = 0;    // FNV-1a of the key token
+  std::uint64_t value = 0;  // set only
+};
+
+// FNV-1a 64-bit: cheap, decent diffusion, endian-stable.
+[[nodiscard]] inline std::uint64_t hash_key(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace detail {
+
+// [begin, end) split at the first space; empty second token when none.
+inline void split2(std::string_view line, std::string_view& head,
+                   std::string_view& rest) noexcept {
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) {
+    head = line;
+    rest = {};
+  } else {
+    head = line.substr(0, sp);
+    rest = line.substr(sp + 1);
+  }
+}
+
+[[nodiscard]] inline bool parse_u64(std::string_view tok,
+                                    std::uint64_t& out) noexcept {
+  if (tok.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+}  // namespace detail
+
+// Parse one request line (WITHOUT the trailing '\n'; a trailing '\r' is
+// tolerated for telnet-style clients).  Never throws; malformed input
+// parses to kBad.
+[[nodiscard]] inline Request parse_request(std::string_view line) noexcept {
+  Request req;
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::string_view verb;
+  std::string_view rest;
+  detail::split2(line, verb, rest);
+  if (verb == "get") {
+    if (rest.empty() || rest.find(' ') != std::string_view::npos) return req;
+    req.kind = OpKind::kGet;
+    req.key = hash_key(rest);
+  } else if (verb == "set") {
+    std::string_view key;
+    std::string_view val;
+    detail::split2(rest, key, val);
+    if (key.empty() || !detail::parse_u64(val, req.value)) return req;
+    req.kind = OpKind::kSet;
+    req.key = hash_key(key);
+  } else if (verb == "del") {
+    if (rest.empty() || rest.find(' ') != std::string_view::npos) return req;
+    req.kind = OpKind::kDel;
+    req.key = hash_key(rest);
+  } else if (verb == "stats") {
+    req.kind = OpKind::kStats;
+  } else if (verb == "quit") {
+    req.kind = OpKind::kQuit;
+  }
+  return req;
+}
+
+// Response renderers append to an output buffer the caller flushes once per
+// batch (the server's syscall budget lives or dies on this).
+inline void append_value(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  out.append("V ", 2);
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
+  out.push_back('\n');
+}
+
+inline void append_miss(std::string& out) { out.append("M\n", 2); }
+inline void append_stored(std::string& out) { out.append("S\n", 2); }
+inline void append_deleted(std::string& out) { out.append("D\n", 2); }
+inline void append_bad(std::string& out) { out.append("E bad\n", 6); }
+
+inline void append_stats(std::string& out, std::uint64_t hits,
+                         std::uint64_t misses, std::uint64_t evictions,
+                         std::uint64_t size) {
+  out.append("ST hits=");
+  out.append(std::to_string(hits));
+  out.append(" misses=");
+  out.append(std::to_string(misses));
+  out.append(" evictions=");
+  out.append(std::to_string(evictions));
+  out.append(" size=");
+  out.append(std::to_string(size));
+  out.push_back('\n');
+}
+
+}  // namespace tmcv::apps::kv

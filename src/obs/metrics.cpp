@@ -1,14 +1,52 @@
 #include "obs/metrics.h"
 
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "obs/trace.h"
 
 namespace tmcv::obs {
+
+namespace {
+
+struct AppSource {
+  AppCounterFn fn;
+  void* ctx;
+};
+
+std::mutex& app_sources_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<AppSource>& app_sources() {
+  static std::vector<AppSource> sources;
+  return sources;
+}
+
+}  // namespace
+
+void register_app_counters(AppCounterFn fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(app_sources_mu());
+  app_sources().push_back(AppSource{fn, ctx});
+}
+
+void unregister_app_counters(AppCounterFn fn, void* ctx) {
+  std::lock_guard<std::mutex> lock(app_sources_mu());
+  auto& sources = app_sources();
+  for (auto it = sources.begin(); it != sources.end(); ++it) {
+    if (it->fn == fn && it->ctx == ctx) {
+      sources.erase(it);
+      return;
+    }
+  }
+}
 
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot s;
@@ -22,6 +60,13 @@ MetricsSnapshot metrics_snapshot() {
     s.trace_ring_drops.push_back(RingDrops{r.tid(), r.dropped()});
   });
   s.attribution = attribution_snapshot();
+  {
+    // Scrape every registered app source under the lock (sources are few
+    // and callbacks are relaxed loads; this also orders against a
+    // concurrent unregister-then-destroy).
+    std::lock_guard<std::mutex> lock(app_sources_mu());
+    for (const AppSource& src : app_sources()) src.fn(src.ctx, s.app);
+  }
   s.cv_wait_ns = hist_cv_wait().snapshot();
   s.notify_wake_ns = hist_notify_wake().snapshot();
   s.txn_commit_ns = hist_txn_commit().snapshot();
@@ -50,6 +95,14 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
         break;
       }
   d.attribution = attribution_delta(now.attribution, before.attribution);
+  // App counters match by name (a counter absent from `before` appeared in
+  // between: its whole value is delta).
+  for (AppCounter& ac : d.app)
+    for (const AppCounter& bc : before.app)
+      if (bc.name == ac.name) {
+        ac.value = ac.value > bc.value ? ac.value - bc.value : 0;
+        break;
+      }
   d.cv_wait_ns -= before.cv_wait_ns;
   d.notify_wake_ns -= before.notify_wake_ns;
   d.txn_commit_ns -= before.txn_commit_ns;
@@ -174,7 +227,14 @@ std::string to_json(const MetricsSnapshot& s) {
        << attr_stripe_index(e.key) << ", \"count\": " << e.count << "}";
     first = false;
   }
-  os << (first ? "" : "\n    ") << "]\n  },\n  \"histograms\": {\n";
+  os << (first ? "" : "\n    ") << "]\n  },\n  \"app\": {\n";
+  first = true;
+  for (const AppCounter& ac : s.app) {
+    os << (first ? "" : ",\n") << "    \"" << escaped(ac.name.c_str())
+       << "\": " << ac.value;
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {\n";
   first = true;
   for_each_hist(s, [&](const NamedHist& h) {
     char mean[64];
@@ -273,6 +333,18 @@ std::string to_prometheus(const MetricsSnapshot& s) {
   header("tmcv_attr_dropped_total", "counter",
          "Attribution increments lost to counter-table overflow.");
   os << "tmcv_attr_dropped_total " << s.attribution.dropped << "\n";
+  for (const AppCounter& ac : s.app) {
+    // Registered application counters; names are sanitized into the
+    // Prometheus identifier alphabet.
+    std::string ident;
+    for (const char c : ac.name)
+      ident.push_back(std::isalnum(static_cast<unsigned char>(c)) || c == '_'
+                          ? c
+                          : '_');
+    const std::string metric = "tmcv_app_" + ident;
+    header(metric, "counter", "Registered application counter.");
+    os << metric << " " << ac.value << "\n";
+  }
   for_each_hist(s, [&](const NamedHist& h) {
     const std::string metric = std::string("tmcv_") + h.name;
     header(metric, "summary",

@@ -33,6 +33,34 @@ struct RingDrops {
   std::uint64_t dropped = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Application counters
+//
+// The registry's fixed sections cover the runtime; workloads built ON the
+// runtime (the KV server's get/set/hit/miss counters, a future vacation
+// bench) publish theirs by registering a scrape callback.  Each snapshot
+// invokes every registered source, so app counters ride the same pump,
+// delta, JSON, and Prometheus machinery as everything else -- `curl
+// /metrics.json` mid-run shows `kv_get_total` next to `commits`.
+//
+// Names should be snake_case identifiers; they are exported verbatim into
+// JSON under "app" and as `tmcv_app_<name>` Prometheus counters.  Callbacks
+// must be cheap (relaxed atomic loads) and thread-safe; they run on the
+// telemetry pump thread and on any thread that calls metrics_snapshot().
+// ---------------------------------------------------------------------------
+
+struct AppCounter {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+using AppCounterFn = void (*)(void* ctx, std::vector<AppCounter>& out);
+
+// Register / remove a scrape source.  Unregister before destroying `ctx`
+// (the KV server does this in stop()).
+void register_app_counters(AppCounterFn fn, void* ctx);
+void unregister_app_counters(AppCounterFn fn, void* ctx);
+
 struct MetricsSnapshot {
   tm::Stats tm;        // folded over live + retired TM threads
   CondVarStats cv;     // folded over live + destroyed condition variables
@@ -41,6 +69,7 @@ struct MetricsSnapshot {
   std::uint64_t trace_dropped = 0;  // records lost to ring wraparound
   std::vector<RingDrops> trace_ring_drops;  // per-ring breakdown (every ring)
   AttributionSnapshot attribution;  // conflict attribution (sorted, unsliced)
+  std::vector<AppCounter> app;      // registered application counters
 
   HistogramSnapshot cv_wait_ns;       // condvar enqueue -> wakeup
   HistogramSnapshot notify_wake_ns;   // notify selection -> waiter running

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/net.h"
 
 namespace tmcv::obs {
 
@@ -222,31 +223,21 @@ TelemetryServer::~TelemetryServer() { stop(); }
 
 bool TelemetryServer::start(const TelemetryOptions& opts) {
   Impl& im = *impl_;
-  if (im.running.load(std::memory_order_acquire)) return false;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.running.load(std::memory_order_acquire)) {
+    errno = EALREADY;
+    return false;
+  }
+  // Shared loopback listener plumbing (util/net.h): SO_REUSEADDR, port 0 =
+  // kernel-picked free port, errno preserved across cleanup so callers can
+  // print WHY the bind failed (EADDRINUSE when the port is taken).
+  std::uint16_t bound_port = 0;
+  const int fd = listen_loopback(opts.port, bound_port, 16);
   if (fd < 0) return false;
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
-  addr.sin_port = htons(opts.port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 16) < 0) {
-    ::close(fd);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    ::close(fd);
-    return false;
-  }
   im.opts = opts;
   if (im.opts.snapshot_interval_ms == 0) im.opts.snapshot_interval_ms = 1;
   if (im.opts.delta_ring == 0) im.opts.delta_ring = 1;
   im.listen_fd.store(fd, std::memory_order_release);
-  im.bound_port = ntohs(bound.sin_port);
+  im.bound_port = bound_port;
   im.started_at = std::chrono::steady_clock::now();
   im.deltas.clear();
   im.snapshots_taken = 0;
@@ -295,14 +286,22 @@ tmcv::obs::TelemetryServer* g_c_api_server = nullptr;
 }  // namespace
 
 extern "C" int tmcv_telemetry_start(int port) {
-  if (port < 0 || port > 65535) return -1;
+  if (port < 0 || port > 65535) {
+    errno = EINVAL;
+    return -1;
+  }
   std::lock_guard<std::mutex> lock(g_c_api_mu);
-  if (g_c_api_server != nullptr) return -1;
+  if (g_c_api_server != nullptr) {
+    errno = EALREADY;
+    return -1;
+  }
   auto* server = new tmcv::obs::TelemetryServer;
   tmcv::obs::TelemetryOptions opts;
   opts.port = static_cast<std::uint16_t>(port);
   if (!server->start(opts)) {
+    const int saved = errno;  // EADDRINUSE when the port is taken
     delete server;
+    errno = saved;
     return -1;
   }
   g_c_api_server = server;

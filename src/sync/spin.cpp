@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/cpu.h"
+
 namespace tmcv {
 
 namespace {
@@ -14,8 +16,8 @@ unsigned initial_spin_budget() noexcept {
   // process behaves exactly like the pre-spin implementation, which is the
   // right call when the machine is oversubscribed or power-constrained.
   const char* no_spin = std::getenv("TMCV_NO_SPIN");
-  if (no_spin != nullptr && std::strcmp(no_spin, "0") != 0) return 0;
-  return kDefaultSpinBudget;
+  const bool forced_off = no_spin != nullptr && std::strcmp(no_spin, "0") != 0;
+  return default_spin_budget(effective_cpus(), forced_off);
 }
 
 std::atomic<unsigned>& spin_budget_word() noexcept {
@@ -24,6 +26,15 @@ std::atomic<unsigned>& spin_budget_word() noexcept {
 }
 
 }  // namespace
+
+unsigned default_spin_budget(unsigned cpus, bool no_spin) noexcept {
+  if (no_spin) return 0;
+  // One runnable CPU means the poster we would spin for cannot be executing
+  // concurrently: every spin round is time stolen from it (the PR-4 1-core
+  // pingpong regression).  Park immediately instead.
+  if (cpus <= 1) return 0;
+  return kDefaultSpinBudget;
+}
 
 void set_spin_budget(unsigned rounds) noexcept {
   spin_budget_word().store(rounds, std::memory_order_relaxed);

@@ -15,6 +15,12 @@
 //   TMCV_NO_SPIN        -- env var; when set (to anything but "0"), forces
 //                          the budget to 0 at startup.  Escape hatch for
 //                          oversubscribed or power-sensitive deployments.
+//
+// Startup default: 16 rounds on multi-core, 0 when the process is confined
+// to a single logical CPU (effective_cpus() == 1) -- a spinner there can
+// only delay the poster it is waiting for, which is the documented PR-4
+// single-core pingpong regression.  set_spin_budget() and TMCV_NO_SPIN
+// both override the detection.
 #pragma once
 
 #include <atomic>
@@ -29,6 +35,13 @@ namespace tmcv {
 // Individual threads spin less when their history says parking is likely.
 void set_spin_budget(unsigned rounds) noexcept;
 [[nodiscard]] unsigned spin_budget() noexcept;
+
+// The startup default for a given topology: 0 when `no_spin` (TMCV_NO_SPIN)
+// is set or the process is confined to one CPU, 16 otherwise.  Exposed as a
+// pure function so the single-core detection is unit-testable without
+// faking the process affinity mask.
+[[nodiscard]] unsigned default_spin_budget(unsigned cpus,
+                                           bool no_spin) noexcept;
 
 namespace detail {
 

@@ -1,12 +1,33 @@
-// Transactional chained hash map (fixed bucket array).
+// Transactional chained hash map with cooperative incremental rehashing.
 //
 // The shape of dedup's deduplication table, as a reusable composable
 // structure: every operation is a transaction over the touched bucket
-// chain, so lookups/inserts compose atomically with other transactional
+// chain(s), so lookups/inserts compose atomically with other transactional
 // state.  Keys and values must be cell-compatible (trivially copyable,
-// <= 8 bytes).  The bucket count is fixed at construction (power of two),
-// which keeps conflicts bucket-local; resizing under TM is future work, as
-// it is for most TM data-structure literature.
+// <= 8 bytes).
+//
+// Resizing.  The bucket array can be grown (or shrunk) while readers and
+// writers run: rehash(n) installs a fresh table as the *active* one and
+// demotes the current table to *old*; a migration cursor then walks the old
+// buckets, splicing each chain's nodes into their new active buckets.  The
+// scheme is the classic two-table incremental rehash (Redis/dictEntry
+// style), made trivially safe here because every step is a transaction:
+//
+//   * inserts always go to the active table (after checking both tables
+//     for an existing key, so no key is ever duplicated);
+//   * lookups/erases consult the active chain first, then the old chain if
+//     that bucket has not been migrated yet;
+//   * every operation migrates one old bucket on its way through
+//     (cooperative progress), and migrate_all() finishes the job in
+//     bounded transactions for callers that want the table settled now;
+//   * when the cursor passes the last old bucket, the old table is retired
+//     through the epoch GC -- in-flight transactions that read it will
+//     fail validation and re-execute against the new tables.
+//
+// One rehash runs at a time (a second request while one is migrating
+// returns false).  Conflict note: while a migration is in flight every
+// operation reads the cursor, so ops serialize against migration steps --
+// the table is slower *during* a rehash, never incorrect.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +44,8 @@ namespace tmcv::tmds {
 template <typename K, typename V>
 class TxHashMap {
  public:
-  explicit TxHashMap(std::size_t buckets = 256) : buckets_(buckets) {
+  explicit TxHashMap(std::size_t buckets = 256)
+      : active_(new Table(buckets)) {
     TMCV_ASSERT_MSG((buckets & (buckets - 1)) == 0,
                     "bucket count must be a power of two");
   }
@@ -32,32 +54,28 @@ class TxHashMap {
   TxHashMap& operator=(const TxHashMap&) = delete;
 
   ~TxHashMap() {
-    for (auto& bucket : buckets_) {
-      Node* node = bucket.load_plain();
-      while (node != nullptr) {
-        Node* next = node->next.load_plain();
-        delete node;
-        node = next;
-      }
+    // Quiescent teardown.  Unmigrated old buckets still own their chains;
+    // migrated ones were spliced into the active table.
+    Table* active = active_.load_plain();
+    for (auto& bucket : active->slots) delete_chain(bucket.load_plain());
+    delete active;
+    Table* old = old_.load_plain();
+    if (old != nullptr) {
+      for (std::size_t i = migrated_.load_plain(); i < old->slots.size(); ++i)
+        delete_chain(old->slots[i].load_plain());
+      delete old;
     }
   }
 
   // Insert or overwrite; returns true if the key was newly inserted.
   bool put(K key, V value) {
     return tm::atomically([&] {
-      tm::var<Node*>& bucket = bucket_for(key);
-      for (Node* n = bucket.load(); n != nullptr; n = n->next.load()) {
-        if (n->key.load() == key) {
-          n->value.store(value);
-          return false;
-        }
+      migrate_step();
+      if (Node* n = find_either(key)) {
+        n->value.store(value);
+        return false;
       }
-      Node* node = tm::tx_new<Node>();
-      node->key.store(key);
-      node->value.store(value);
-      node->next.store(bucket.load());
-      bucket.store(node);
-      size_.store(size_.load() + 1);
+      insert_active(key, value);
       return true;
     });
   }
@@ -65,12 +83,10 @@ class TxHashMap {
   // Lookup; false if absent.
   bool get(K key, V& out) const {
     return tm::atomically([&] {
-      for (Node* n = bucket_for(key).load(); n != nullptr;
-           n = n->next.load()) {
-        if (n->key.load() == key) {
-          out = n->value.load();
-          return true;
-        }
+      migrate_step();
+      if (Node* n = find_either(key)) {
+        out = n->value.load();
+        return true;
       }
       return false;
     });
@@ -84,21 +100,12 @@ class TxHashMap {
   // Remove; false if absent.
   bool erase(K key) {
     return tm::atomically([&] {
-      tm::var<Node*>& bucket = bucket_for(key);
-      Node* prev = nullptr;
-      for (Node* n = bucket.load(); n != nullptr; n = n->next.load()) {
-        if (n->key.load() == key) {
-          Node* next = n->next.load();
-          if (prev == nullptr)
-            bucket.store(next);
-          else
-            prev->next.store(next);
-          size_.store(size_.load() - 1);
-          tm::retire(n);
-          return true;
-        }
-        prev = n;
-      }
+      migrate_step();
+      if (erase_in(active_.load(), key)) return true;
+      Table* old = old_.load();
+      if (old != nullptr && !bucket_migrated(old, key) &&
+          erase_in(old, key))
+        return true;
       return false;
     });
   }
@@ -107,17 +114,42 @@ class TxHashMap {
   // for "first writer wins" tables (dedup's pattern).
   V get_or_put(K key, V value) {
     return tm::atomically([&] {
-      tm::var<Node*>& bucket = bucket_for(key);
-      for (Node* n = bucket.load(); n != nullptr; n = n->next.load())
-        if (n->key.load() == key) return n->value.load();
-      Node* node = tm::tx_new<Node>();
-      node->key.store(key);
-      node->value.store(value);
-      node->next.store(bucket.load());
-      bucket.store(node);
-      size_.store(size_.load() + 1);
+      migrate_step();
+      if (Node* n = find_either(key)) return n->value.load();
+      insert_active(key, value);
       return value;
     });
+  }
+
+  // Begin an incremental rehash to `new_buckets` (power of two, != the
+  // current active count).  Returns false when a migration is already in
+  // flight or the size would not change.  Migration proceeds one old
+  // bucket per subsequent operation; call migrate_all() to finish eagerly.
+  bool rehash(std::size_t new_buckets) {
+    TMCV_ASSERT_MSG((new_buckets & (new_buckets - 1)) == 0,
+                    "bucket count must be a power of two");
+    return tm::atomically([&] {
+      if (old_.load() != nullptr) return false;  // one at a time
+      Table* active = active_.load();
+      if (active->slots.size() == new_buckets) return false;
+      Table* bigger = tm::tx_new<Table>(new_buckets);
+      old_.store(active);
+      active_.store(bigger);
+      migrated_.store(0);
+      return true;
+    });
+  }
+
+  // True while an old table is still being drained.
+  [[nodiscard]] bool rehash_pending() const {
+    return tm::atomically([&] { return old_.load() != nullptr; });
+  }
+
+  // Drive the migration to completion, one bucket-sized transaction per
+  // step (bounded work per transaction keeps conflict windows small).
+  void migrate_all() {
+    while (rehash_pending())
+      tm::atomically([&] { migrate_step(); });
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -126,8 +158,9 @@ class TxHashMap {
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
-  [[nodiscard]] std::size_t bucket_count() const noexcept {
-    return buckets_.size();
+  // Active-table bucket count (the target geometry during a migration).
+  [[nodiscard]] std::size_t bucket_count() const {
+    return tm::atomically([&] { return active_.load()->slots.size(); });
   }
 
  private:
@@ -137,12 +170,107 @@ class TxHashMap {
     tm::var<Node*> next{nullptr};
   };
 
-  [[nodiscard]] tm::var<Node*>& bucket_for(K key) const {
-    const auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull;
-    return buckets_[h & (buckets_.size() - 1)];
+  struct Table {
+    explicit Table(std::size_t n) : slots(n) {}
+    std::vector<tm::var<Node*>> slots;
+  };
+
+  static void delete_chain(Node* node) {
+    while (node != nullptr) {
+      Node* next = node->next.load_plain();
+      delete node;
+      node = next;
+    }
   }
 
-  mutable std::vector<tm::var<Node*>> buckets_;
+  [[nodiscard]] static std::uint64_t mix(K key) noexcept {
+    return static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+  }
+
+  [[nodiscard]] static std::size_t slot_of(const Table* t, K key) noexcept {
+    return mix(key) & (t->slots.size() - 1);
+  }
+
+  // In-transaction: has `key`'s old bucket already been drained?
+  [[nodiscard]] bool bucket_migrated(Table* old, K key) const {
+    return slot_of(old, key) < migrated_.load();
+  }
+
+  [[nodiscard]] Node* find_in(Table* t, K key) const {
+    for (Node* n = t->slots[slot_of(t, key)].load(); n != nullptr;
+         n = n->next.load())
+      if (n->key.load() == key) return n;
+    return nullptr;
+  }
+
+  // In-transaction: the node for `key` wherever it currently lives.
+  [[nodiscard]] Node* find_either(K key) const {
+    if (Node* n = find_in(active_.load(), key)) return n;
+    Table* old = old_.load();
+    if (old != nullptr && !bucket_migrated(old, key))
+      return find_in(old, key);
+    return nullptr;
+  }
+
+  // In-transaction: push a fresh node onto its active chain.
+  void insert_active(K key, V value) {
+    Node* node = tm::tx_new<Node>();
+    node->key.store(key);
+    node->value.store(value);
+    tm::var<Node*>& bucket = active_.load()->slots[slot_of(
+        active_.load(), key)];
+    node->next.store(bucket.load());
+    bucket.store(node);
+    size_.store(size_.load() + 1);
+  }
+
+  bool erase_in(Table* t, K key) {
+    tm::var<Node*>& bucket = t->slots[slot_of(t, key)];
+    Node* prev = nullptr;
+    for (Node* n = bucket.load(); n != nullptr; n = n->next.load()) {
+      if (n->key.load() == key) {
+        Node* next = n->next.load();
+        if (prev == nullptr)
+          bucket.store(next);
+        else
+          prev->next.store(next);
+        size_.store(size_.load() - 1);
+        tm::retire(n);
+        return true;
+      }
+      prev = n;
+    }
+    return false;
+  }
+
+  // In-transaction: drain one old bucket into the active table (no-op when
+  // no migration is in flight).  Splicing reuses the nodes; only the chain
+  // links move.  Const because reads cooperate too (mutable table vars).
+  void migrate_step() const {
+    Table* old = old_.load();
+    if (old == nullptr) return;
+    const std::size_t idx = migrated_.load();
+    if (idx >= old->slots.size()) {
+      old_.store(nullptr);
+      tm::retire(old);
+      return;
+    }
+    Table* active = active_.load();
+    Node* n = old->slots[idx].load();
+    old->slots[idx].store(nullptr);
+    while (n != nullptr) {
+      Node* next = n->next.load();
+      tm::var<Node*>& dst = active->slots[slot_of(active, n->key.load())];
+      n->next.store(dst.load());
+      dst.store(n);
+      n = next;
+    }
+    migrated_.store(idx + 1);
+  }
+
+  mutable tm::var<Table*> active_;
+  mutable tm::var<Table*> old_{nullptr};
+  mutable tm::var<std::size_t> migrated_{0};
   tm::var<std::size_t> size_{0};
 };
 

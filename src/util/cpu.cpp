@@ -6,6 +6,10 @@
 #include <cpuid.h>
 #endif
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace tmcv {
 
 bool cpu_has_rtm() noexcept {
@@ -22,6 +26,20 @@ bool cpu_has_rtm() noexcept {
 unsigned online_cpus() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1u : n;
+}
+
+unsigned effective_cpus() noexcept {
+  unsigned n = online_cpus();
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof mask, &mask) == 0) {
+    const int allowed = CPU_COUNT(&mask);
+    if (allowed > 0 && static_cast<unsigned>(allowed) < n)
+      n = static_cast<unsigned>(allowed);
+  }
+#endif
+  return n;
 }
 
 }  // namespace tmcv

@@ -12,4 +12,11 @@ namespace tmcv {
 // Number of online logical processors (>= 1).
 [[nodiscard]] unsigned online_cpus() noexcept;
 
+// Number of processors this process may actually run on: the size of the
+// sched_getaffinity mask when available, capped by online_cpus().  A
+// container pinned to one core reports 1 here even when the host has many
+// -- the signal the spin-budget default keys off (spinning for a wake that
+// can only be produced by the core we are occupying is pure waste).
+[[nodiscard]] unsigned effective_cpus() noexcept;
+
 }  // namespace tmcv

@@ -1,0 +1,79 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace tmcv {
+
+namespace {
+
+// close() may clobber errno; callers of these helpers report the *first*
+// failure, so preserve it around the cleanup.
+int close_keep_errno(int fd) noexcept {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  return -1;
+}
+
+}  // namespace
+
+int listen_loopback(std::uint16_t port, std::uint16_t& bound_port,
+                    int backlog) noexcept {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, backlog) < 0)
+    return close_keep_errno(fd);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    return close_keep_errno(fd);
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port) noexcept {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0)
+    return close_keep_errno(fd);
+  return fd;
+}
+
+bool set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) == 0;
+}
+
+bool send_all(int fd, const void* data, std::size_t len) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace tmcv

@@ -1,0 +1,36 @@
+// Minimal loopback TCP helpers shared by the telemetry endpoint, the KV
+// server, and the load driver -- the socket plumbing is identical in all
+// three (loopback-only listeners with SO_REUSEADDR, ephemeral port-0 binds
+// for tests/CI, full-buffer sends), so it lives here once.
+//
+// Every call returns -1 on failure with errno intact (including across the
+// internal close() on partially constructed sockets), so callers can report
+// *why* a bind failed -- "port taken" versus "permission denied" -- instead
+// of a silent -1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tmcv {
+
+// Create, bind, and listen a loopback (127.0.0.1) TCP socket with
+// SO_REUSEADDR.  `port` 0 asks the kernel for a free port.  On success the
+// bound port is written to `bound_port` (resolving port 0) and the listen
+// fd is returned; on failure returns -1 with errno describing the first
+// failing syscall (EADDRINUSE when the port is taken).
+[[nodiscard]] int listen_loopback(std::uint16_t port,
+                                  std::uint16_t& bound_port,
+                                  int backlog = 64) noexcept;
+
+// Blocking connect to 127.0.0.1:port.  Returns the fd or -1 with errno.
+[[nodiscard]] int connect_loopback(std::uint16_t port) noexcept;
+
+// Disable Nagle (TCP_NODELAY); best-effort, returns false with errno set.
+bool set_tcp_nodelay(int fd) noexcept;
+
+// Send the whole buffer (retrying short writes, MSG_NOSIGNAL).  Returns
+// false on the first unrecoverable send error or peer close.
+bool send_all(int fd, const void* data, std::size_t len) noexcept;
+
+}  // namespace tmcv

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <string>
 
 #include "core/c_api.h"
@@ -95,6 +96,32 @@ TEST(ObsTelemetryTest, ServesAllRoutesOnEphemeralPort) {
   EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
             std::string::npos);
   server.stop();
+}
+
+TEST(ObsTelemetryTest, TakenPortFailsWithAddrInUse) {
+  // The loud-failure contract (shared with the KV server and bench mains):
+  // binding an occupied port returns false with errno == EADDRINUSE so the
+  // caller can print why, instead of a silent false.
+  obs::TelemetryServer first;
+  obs::TelemetryOptions opts;
+  opts.port = 0;
+  ASSERT_TRUE(first.start(opts));
+  obs::TelemetryServer second;
+  opts.port = first.port();  // occupied
+  errno = 0;
+  EXPECT_FALSE(second.start(opts));
+  EXPECT_EQ(errno, EADDRINUSE);
+  EXPECT_FALSE(second.running());
+  // And the C API surfaces the same errno.
+  errno = 0;
+  EXPECT_EQ(tmcv_telemetry_start(first.port()), -1);
+  EXPECT_EQ(errno, EADDRINUSE);
+  first.stop();
+  // The port is free again: a retry on the exact same port succeeds
+  // (SO_REUSEADDR spares the TIME_WAIT dance).
+  ASSERT_TRUE(second.start(opts));
+  EXPECT_EQ(second.port(), opts.port);
+  second.stop();
 }
 
 TEST(ObsTelemetryTest, CApiSingletonLifecycle) {

@@ -6,10 +6,13 @@
 // deterministic pieces.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "sync/semaphore.h"
 #include "sync/spin.h"
+#include "util/cpu.h"
 #include "sync/wake_stats.h"
 
 namespace tmcv {
@@ -151,6 +154,36 @@ TEST(WakeStats, SnapshotAndResetCoverEveryField) {
   WakeStats::for_each_field([&](const char*, std::uint64_t WakeStats::*f) {
     EXPECT_EQ(b.*f, a.*f);
   });
+}
+
+// ---- 1-core default (the PR-4 pingpong-regression mitigation) ----
+
+TEST(SpinBudget, DefaultIsZeroOnOneCpu) {
+  // On a single effective CPU, spinning before park only burns the quantum
+  // the lock holder (or notifier) needs: the default must be pure parking.
+  EXPECT_EQ(default_spin_budget(1, false), 0u);
+}
+
+TEST(SpinBudget, DefaultIsPositiveOnMultiCpu) {
+  EXPECT_GT(default_spin_budget(2, false), 0u);
+  EXPECT_GT(default_spin_budget(8, false), 0u);
+}
+
+TEST(SpinBudget, NoSpinKnobForcesZeroRegardlessOfCpus) {
+  EXPECT_EQ(default_spin_budget(1, true), 0u);
+  EXPECT_EQ(default_spin_budget(64, true), 0u);
+}
+
+TEST(SpinBudget, DefaultAgreesWithThisMachinesTopology) {
+  // The regression this guards: on a 1-core box (this CI container) the
+  // default must come up 0 -- a waiter spinning before park steals the
+  // exact quantum its notifier needs.  set_spin_budget / TMCV_NO_SPIN
+  // remain the explicit overrides.
+  const unsigned def = default_spin_budget(effective_cpus(), false);
+  if (effective_cpus() <= 1)
+    EXPECT_EQ(def, 0u);
+  else
+    EXPECT_GT(def, 0u);
 }
 
 }  // namespace

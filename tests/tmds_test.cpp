@@ -284,5 +284,109 @@ TEST_P(TmdsBackends, HashMapComposedInventoryInvariant) {
   EXPECT_EQ(anomalies, 0);
 }
 
+// ---- TxHashMap incremental rehash ----
+
+TEST_P(TmdsBackends, HashMapRehashPreservesContents) {
+  TxHashMap<std::uint64_t, std::uint64_t> map(16);
+  constexpr std::uint64_t kKeys = 200;
+  for (std::uint64_t k = 0; k < kKeys; ++k) map.put(k, k * 3);
+  EXPECT_FALSE(map.rehash_pending());
+  ASSERT_TRUE(map.rehash(256));
+  EXPECT_TRUE(map.rehash_pending());
+  EXPECT_EQ(map.bucket_count(), 256u);  // active table switched immediately
+  EXPECT_FALSE(map.rehash(512));        // one migration at a time
+  // Mid-migration, every key must stay visible (old-table fallback).
+  std::uint64_t v = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(map.get(k, v)) << k;
+    EXPECT_EQ(v, k * 3);
+  }
+  map.migrate_all();
+  EXPECT_FALSE(map.rehash_pending());
+  EXPECT_EQ(map.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(map.get(k, v));
+    EXPECT_EQ(v, k * 3);
+  }
+  // Shrink back down, exercising the other direction.
+  ASSERT_TRUE(map.rehash(32));
+  map.migrate_all();
+  EXPECT_EQ(map.size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) EXPECT_TRUE(map.contains(k));
+}
+
+TEST_P(TmdsBackends, HashMapMutationsDuringMigrationLand) {
+  // Inserts/erases/overwrites issued while the cursor is mid-table must
+  // resolve against whichever table currently holds the key.
+  TxHashMap<std::uint64_t, std::uint64_t> map(16);
+  for (std::uint64_t k = 0; k < 100; ++k) map.put(k, k);
+  ASSERT_TRUE(map.rehash(128));
+  EXPECT_FALSE(map.put(5, 500));   // overwrite (likely still in old table)
+  EXPECT_TRUE(map.erase(6));
+  EXPECT_TRUE(map.put(1000, 1));   // fresh insert goes to the active table
+  EXPECT_EQ(map.get_or_put(7, 999), 7u);  // existing key wins
+  map.migrate_all();
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.get(5, v));
+  EXPECT_EQ(v, 500u);
+  EXPECT_FALSE(map.contains(6));
+  EXPECT_TRUE(map.contains(1000));
+  EXPECT_EQ(map.size(), 100u);  // 100 - erased + inserted
+}
+
+TEST_P(TmdsBackends, HashMapConcurrentMixedOpsWithResizeInFlight) {
+  // The satellite scenario: mixed get/set/delete from several threads while
+  // a rehash migrates underneath them.  Correctness oracle: a per-thread
+  // disjoint key range, so each thread can verify its own writes exactly.
+  TxHashMap<std::uint64_t, std::uint64_t> map(16);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 300;
+  std::atomic<bool> resize_done{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::uint64_t base = static_cast<std::uint64_t>(t) * kPerThread;
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        map.put(base + i, base + i + 1);
+      std::uint64_t v = 0;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(map.get(base + i, v));
+        EXPECT_EQ(v, base + i + 1);
+      }
+      for (std::uint64_t i = 0; i < kPerThread; i += 2)
+        EXPECT_TRUE(map.erase(base + i));
+    });
+  }
+  std::thread resizer([&] {
+    // Grow, drain cooperatively alongside the workers, then shrink.
+    while (!map.rehash(512)) std::this_thread::yield();
+    map.migrate_all();
+    while (!map.rehash(64)) std::this_thread::yield();
+    map.migrate_all();
+    resize_done.store(true);
+  });
+  for (auto& w : workers) w.join();
+  resizer.join();
+  EXPECT_TRUE(resize_done.load());
+  map.migrate_all();
+  // Survivors: exactly the odd offsets of each range, values intact.
+  std::uint64_t v = 0;
+  std::size_t live = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = static_cast<std::uint64_t>(t) * kPerThread;
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      const bool expect_live = (i % 2) == 1;
+      EXPECT_EQ(map.contains(base + i), expect_live);
+      if (expect_live) {
+        ++live;
+        EXPECT_TRUE(map.get(base + i, v));
+        EXPECT_EQ(v, base + i + 1);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), live);
+}
+
 }  // namespace
 }  // namespace tmcv::tmds

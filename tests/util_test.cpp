@@ -1,15 +1,20 @@
 // Unit tests for src/util: PRNGs, statistics, backoff, CPU queries.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <cmath>
 #include <set>
 #include <vector>
 
 #include "util/backoff.h"
 #include "util/cpu.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/timing.h"
+#include "util/zipf.h"
 
 namespace tmcv {
 namespace {
@@ -153,6 +158,90 @@ TEST(Cpu, RtmQueryDoesNotCrash) {
   // Value is hardware-dependent; just exercise the cpuid path.
   (void)cpu_has_rtm();
   SUCCEED();
+}
+
+
+TEST(Cpu, EffectiveCpusWithinOnline) {
+  const unsigned eff = effective_cpus();
+  EXPECT_GE(eff, 1u);
+  EXPECT_LE(eff, online_cpus());
+}
+
+// ---- ZipfDistribution (util/zipf.h) ----
+
+TEST(Zipf, DeterministicUnderFixedSeed) {
+  // The reproducibility contract for every benchmark that reports
+  // "zipfian": identical (n, theta, seed) must give identical draws.
+  const ZipfDistribution zipf(1024, 0.9);
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(zipf(a), zipf(b));
+}
+
+TEST(Zipf, DrawsStayInRange) {
+  const ZipfDistribution zipf(64, 0.9);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf(rng), 64u);
+}
+
+TEST(Zipf, SkewConcentratesOnHotRanks) {
+  // theta = 0.9 over 64 ranks: ~35% of the mass on the top 4 (the constant
+  // bench/micro_tm.cpp documents).  Check both the analytic CDF and an
+  // empirical sample against a loose band.
+  const ZipfDistribution zipf(64, 0.9);
+  EXPECT_NEAR(zipf.cumulative(4), 0.35, 0.05);
+  Xoshiro256 rng(99);
+  int hot = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i)
+    if (zipf(rng) < 4) ++hot;
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, zipf.cumulative(4), 0.02);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  const ZipfDistribution zipf(16, 0.0);
+  for (std::size_t k = 1; k <= 16; ++k)
+    EXPECT_NEAR(zipf.cumulative(k), static_cast<double>(k) / 16.0, 1e-9);
+}
+
+// ---- loopback socket helpers (util/net.h) ----
+
+TEST(Net, EphemeralListenAndRoundtrip) {
+  std::uint16_t port = 0;
+  const int lfd = listen_loopback(0, port);
+  ASSERT_GE(lfd, 0);
+  EXPECT_GT(port, 0);  // port 0 resolved to the kernel's pick
+  const int cfd = connect_loopback(port);
+  ASSERT_GE(cfd, 0);
+  EXPECT_TRUE(set_tcp_nodelay(cfd));
+  const int sfd = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(sfd, 0);
+  const char msg[] = "ping";
+  EXPECT_TRUE(send_all(cfd, msg, sizeof msg));
+  char buf[8] = {};
+  std::size_t got = 0;
+  while (got < sizeof msg) {
+    const ssize_t n = ::recv(sfd, buf + got, sizeof buf - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  EXPECT_STREQ(buf, "ping");
+  ::close(sfd);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+TEST(Net, TakenPortFailsWithAddrInUse) {
+  // The "fail loudly when the port is taken" contract: the second bind must
+  // return -1 with errno == EADDRINUSE (SO_REUSEADDR does not allow two
+  // live listeners on one port).
+  std::uint16_t port = 0;
+  const int lfd = listen_loopback(0, port);
+  ASSERT_GE(lfd, 0);
+  std::uint16_t second = 0;
+  errno = 0;
+  EXPECT_EQ(listen_loopback(port, second), -1);
+  EXPECT_EQ(errno, EADDRINUSE);
+  ::close(lfd);
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {
