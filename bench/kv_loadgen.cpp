@@ -20,7 +20,10 @@
 // `--serve-metrics[=PORT]` (embedded mode) starts the live endpoint;
 // `--hold-ms=N` keeps the process alive after the run so CI can curl
 // /profile at quiescence, when conflicts_recorded == aborts_conflict
-// exactly.
+// exactly.  `--storm-ms=N` injects a deterministic abort storm for the
+// first N ms (capacity-doomed hybrid transactions, see run_storm) -- the
+// watchdog-smoke CI job uses it to prove the abort-storm alert fires and
+// clears against live traffic.
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -38,6 +41,12 @@
 #include "obs/attribution.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "tm/api.h"
+#include "tm/descriptor.h"
+#include "tm/var.h"
 #include "util/net.h"
 #include "util/rng.h"
 #include "util/timing.h"
@@ -62,6 +71,11 @@ struct Config {
   const char* json_path = nullptr;
   int metrics_port = -1;  // embedded only; -1 off
   long hold_ms = 0;
+  long history_ms = 0;            // 0: recorder off
+  bool watchdog = false;          // SLO watchdog on default rules
+  const char* watchdog_dump = nullptr;  // flight dump path on alert fire
+  double watchdog_abort_ratio = -1.0;   // override abort-storm threshold
+  long storm_ms = 0;              // injected abort storm duration; 0: off
 };
 
 struct ClientResult {
@@ -143,6 +157,36 @@ void run_client(const Config& cfg, std::uint16_t port, unsigned id,
   out.ok = true;
 }
 
+// --storm-ms: the injected abort storm.  A sidecar thread hammers a private
+// hot region with Hybrid-backend transactions whose write set (kStormWrites
+// distinct words) exceeds TxDescriptor::kHtmWriteCapacity, so every
+// iteration capacity-aborts the doomed hardware attempt before the software
+// fallback commits.  That makes the storm deterministic on any machine:
+// conflict aborts need two transactions racing (scheduler luck on a
+// single-core box), capacity aborts are structural.  The watchdog's
+// abort-storm rule sees the ratio spike within two sampling periods, and
+// clears after the deadline passes, when only the well-behaved zipfian KV
+// traffic is left running.
+void run_storm(long storm_ms) {
+  constexpr int kStormWrites = 96;
+  static_assert(kStormWrites > tmcv::tm::TxDescriptor::kHtmWriteCapacity,
+                "the storm transaction must overflow the hardware write set");
+  std::vector<std::unique_ptr<tmcv::tm::var<std::uint64_t>>> region;
+  region.reserve(kStormWrites);
+  for (int i = 0; i < kStormWrites; ++i)
+    region.push_back(std::make_unique<tmcv::tm::var<std::uint64_t>>(0));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(storm_ms);
+  std::uint64_t tick = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    tmcv::tm::atomically(tmcv::tm::Backend::Hybrid, [&] {
+      TMCV_TXN_SITE("kv_loadgen.storm");
+      for (auto& v : region) v->store(tick);
+    });
+    ++tick;
+  }
+}
+
 void append_hist(std::string& json, const char* name,
                  const HistogramSnapshot& h, const char* indent) {
   char buf[256];
@@ -195,6 +239,20 @@ int parse_args(int argc, char** argv, Config& cfg) {
       cfg.metrics_port = std::atoi(a + 16);
     } else if (std::strncmp(a, "--hold-ms=", 10) == 0) {
       cfg.hold_ms = std::atol(a + 10);
+    } else if (std::strcmp(a, "--history") == 0) {
+      cfg.history_ms = 1000;
+    } else if (std::strncmp(a, "--history=", 10) == 0) {
+      cfg.history_ms = std::atol(a + 10);
+      if (cfg.history_ms <= 0) cfg.history_ms = 1000;
+    } else if (std::strcmp(a, "--watchdog") == 0) {
+      cfg.watchdog = true;
+    } else if (std::strncmp(a, "--watchdog=", 11) == 0) {
+      cfg.watchdog = true;
+      cfg.watchdog_dump = a + 11;
+    } else if (std::strncmp(a, "--watchdog-abort-ratio=", 23) == 0) {
+      cfg.watchdog_abort_ratio = std::atof(a + 23);
+    } else if (std::strncmp(a, "--storm-ms=", 11) == 0) {
+      cfg.storm_ms = std::atol(a + 11);
     } else {
       std::fprintf(
           stderr,
@@ -202,7 +260,9 @@ int parse_args(int argc, char** argv, Config& cfg) {
           "          [--keys N] [--theta F] [--get-pct N] [--window N]\n"
           "          [--ops N-per-conn] [--seed N] [--shards N]\n"
           "          [--capacity N] [--json [PATH]]\n"
-          "          [--serve-metrics[=PORT]] [--hold-ms=N]\n",
+          "          [--serve-metrics[=PORT]] [--hold-ms=N]\n"
+          "          [--history[=MS]] [--watchdog[=DUMP.json]]\n"
+          "          [--watchdog-abort-ratio=F] [--storm-ms=N]\n",
           argv[0]);
       return 2;
     }
@@ -220,6 +280,33 @@ int parse_args(int argc, char** argv, Config& cfg) {
 int main(int argc, char** argv) {
   Config cfg;
   if (const int rc = parse_args(argc, argv, cfg); rc != 0) return rc;
+
+  // Observability stack, outermost first: the watchdog needs history to
+  // ride on, and judges latency + attribution signals, so it turns those
+  // capture layers on (trace too, so an alert-triggered flight dump has
+  // ring contents to serialize).
+  if (cfg.watchdog && cfg.history_ms == 0) cfg.history_ms = 1000;
+  if (cfg.watchdog) {
+    tmcv::obs::set_timing_enabled(true);
+    tmcv::obs::set_trace_enabled(true);
+    tmcv::obs::set_attribution_enabled(true);
+  }
+  if (cfg.history_ms > 0) {
+    tmcv::obs::TimeSeriesOptions ts;
+    ts.interval_ms = static_cast<std::uint32_t>(cfg.history_ms);
+    tmcv::obs::timeseries().start(ts);
+  }
+  if (cfg.watchdog) {
+    std::vector<tmcv::obs::WatchdogRule> rules = tmcv::obs::default_rules();
+    if (cfg.watchdog_abort_ratio >= 0.0) {
+      for (tmcv::obs::WatchdogRule& r : rules)
+        if (r.kind == tmcv::obs::RuleKind::kAbortStorm)
+          r.threshold = cfg.watchdog_abort_ratio;
+    }
+    tmcv::obs::watchdog().start(
+        std::move(rules),
+        cfg.watchdog_dump != nullptr ? cfg.watchdog_dump : "");
+  }
 
   const bool embedded = cfg.connect_port < 0;
   tmcv::apps::kv::KvServer server;
@@ -265,11 +352,19 @@ int main(int argc, char** argv) {
   std::vector<std::thread> clients;
   clients.reserve(cfg.conns);
   const tmcv::Stopwatch wall;
+  std::thread storm;
+  if (cfg.storm_ms > 0) {
+    std::printf("kv_loadgen: injecting abort storm for %ld ms\n",
+                cfg.storm_ms);
+    std::fflush(stdout);
+    storm = std::thread(run_storm, cfg.storm_ms);
+  }
   for (unsigned c = 0; c < cfg.conns; ++c)
     clients.emplace_back(run_client, std::cref(cfg), port, c,
                          std::cref(key_names), std::ref(window_rtt),
                          std::ref(op_latency), std::ref(results[c]));
   for (auto& t : clients) t.join();
+  if (storm.joinable()) storm.join();
   const double secs = wall.elapsed_seconds();
 
   std::uint64_t total_ops = 0;
@@ -382,5 +477,7 @@ int main(int argc, char** argv) {
   if (cfg.hold_ms > 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(cfg.hold_ms));
   if (embedded) server.stop();
+  if (cfg.watchdog) tmcv::obs::watchdog().stop();
+  if (cfg.history_ms > 0) tmcv::obs::timeseries().stop();
   return 0;
 }

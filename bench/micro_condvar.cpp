@@ -31,7 +31,9 @@
 #include "core/condvar.h"
 #include "core/legacy_cv.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "sync/semaphore.h"
 #include "tm/api.h"
 #include "util/timing.h"
@@ -524,9 +526,14 @@ int main(int argc, char** argv) {
   //   --serve-metrics[=PORT]  live telemetry endpoint for the whole run
   //   --hold-ms=N             keep the endpoint alive N ms after the run
   //   --trace PATH            append the traced herd phase, write PATH
+  //   --history[=MS]          time-series recorder at MS ms cadence (1000)
+  //   --watchdog              SLO watchdog on default rules (implies
+  //                           --history; enables timing + attribution)
   bool serve = false;
   int serve_port = 0;
   long hold_ms = 0;
+  long history_ms = 0;
+  bool watchdog_on = false;
   const char* trace_path = nullptr;
   int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-herd
   const char* out_path = nullptr;
@@ -540,6 +547,12 @@ int main(int argc, char** argv) {
       if (a[15] == '=') serve_port = std::atoi(a + 16);
     } else if (std::strncmp(a, "--hold-ms=", 10) == 0) {
       hold_ms = std::atol(a + 10);
+    } else if (std::strncmp(a, "--history", 9) == 0 &&
+               (a[9] == '\0' || a[9] == '=')) {
+      history_ms = a[9] == '=' ? std::atol(a + 10) : 1000;
+      if (history_ms <= 0) history_ms = 1000;
+    } else if (std::strcmp(a, "--watchdog") == 0) {
+      watchdog_on = true;
     } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(a, "--json") == 0) {
@@ -564,6 +577,18 @@ int main(int argc, char** argv) {
     std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
     std::fflush(stdout);
   }
+  if (watchdog_on && history_ms == 0) history_ms = 1000;
+  if (watchdog_on) {
+    tmcv::obs::set_timing_enabled(true);
+    tmcv::obs::set_attribution_enabled(true);
+  }
+  if (history_ms > 0) {
+    tmcv::obs::TimeSeriesOptions ts;
+    ts.interval_ms = static_cast<std::uint32_t>(history_ms);
+    tmcv::obs::timeseries().start(ts);
+  }
+  if (watchdog_on)
+    tmcv::obs::watchdog().start(tmcv::obs::default_rules());
   int rc = 0;
   if (mode == 1) {
     rc = run_json_mode(out_path ? out_path : "BENCH_micro_condvar.json");
@@ -586,5 +611,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
     tmcv_telemetry_stop();
   }
+  if (watchdog_on) tmcv::obs::watchdog().stop();
+  if (history_ms > 0) tmcv::obs::timeseries().stop();
   return rc;
 }

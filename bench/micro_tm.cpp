@@ -12,7 +12,9 @@
 // `--serve-metrics[=PORT]` additionally starts the live telemetry endpoint
 // (core/c_api.h) for the duration of the run; `--hold-ms=N` keeps it up N ms
 // after the workload finishes so external scrapers can read the final
-// counters.  Both compose with any mode.
+// counters.  `--history[=MS]` runs the time-series recorder and
+// `--watchdog` the SLO rules on top of it (see obs/watchdog.h).  All
+// compose with any mode.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -30,7 +32,9 @@
 #include "core/c_api.h"
 #include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "tm/api.h"
 #include "tm/var.h"
 #include "util/timing.h"
@@ -567,9 +571,14 @@ int main(int argc, char** argv) {
   //   --hold-ms=N             keep the process (and the endpoint) alive N ms
   //                           after the selected mode finishes, so an
   //                           external scraper can read the final counters
+  //   --history[=MS]          time-series recorder at MS ms cadence (1000)
+  //   --watchdog              SLO watchdog on default rules (implies
+  //                           --history; enables timing + attribution)
   bool serve = false;
   int serve_port = 0;
   long hold_ms = 0;
+  long history_ms = 0;
+  bool watchdog_on = false;
   int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-contended
   const char* out_path = nullptr;
   std::vector<char*> passthrough;
@@ -582,6 +591,12 @@ int main(int argc, char** argv) {
       if (a[15] == '=') serve_port = std::atoi(a + 16);
     } else if (std::strncmp(a, "--hold-ms=", 10) == 0) {
       hold_ms = std::atol(a + 10);
+    } else if (std::strncmp(a, "--history", 9) == 0 &&
+               (a[9] == '\0' || a[9] == '=')) {
+      history_ms = a[9] == '=' ? std::atol(a + 10) : 1000;
+      if (history_ms <= 0) history_ms = 1000;
+    } else if (std::strcmp(a, "--watchdog") == 0) {
+      watchdog_on = true;
     } else if (std::strcmp(a, "--json-contended") == 0) {
       mode = 2;
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
@@ -604,6 +619,18 @@ int main(int argc, char** argv) {
     std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
     std::fflush(stdout);
   }
+  if (watchdog_on && history_ms == 0) history_ms = 1000;
+  if (watchdog_on) {
+    tmcv::obs::set_timing_enabled(true);
+    tmcv::obs::set_attribution_enabled(true);
+  }
+  if (history_ms > 0) {
+    tmcv::obs::TimeSeriesOptions ts;
+    ts.interval_ms = static_cast<std::uint32_t>(history_ms);
+    tmcv::obs::timeseries().start(ts);
+  }
+  if (watchdog_on)
+    tmcv::obs::watchdog().start(tmcv::obs::default_rules());
   int rc = 0;
   if (mode == 2) {
     rc = run_json_contended_mode(out_path ? out_path
@@ -624,5 +651,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
     tmcv_telemetry_stop();
   }
+  if (watchdog_on) tmcv::obs::watchdog().stop();
+  if (history_ms > 0) tmcv::obs::timeseries().stop();
   return rc;
 }

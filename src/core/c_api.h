@@ -65,6 +65,14 @@ int tmcv_get_wait_morphing(void);
 int tmcv_telemetry_start(int port);
 void tmcv_telemetry_stop(void);
 
+/* Flight recorder (also obs-library-only): atomically write a post-mortem
+ * JSON -- full metrics snapshot, time-series history, unsliced conflict
+ * attribution, and the Chrome trace document -- to `path`.  Capture flags
+ * are frozen during serialization and restored after.  Returns 0 on
+ * success, -1 on failure (errno intact).  Validate/summarize the file with
+ * tools/trace_report.py. */
+int tmcv_flight_dump(const char* path);
+
 #ifdef __cplusplus
 }  /* extern "C" */
 #endif

@@ -1,0 +1,143 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/c_api.h"
+#include "obs/attribution.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "tmcv_version.h"
+
+namespace tmcv::obs {
+
+namespace {
+
+// Clears the runtime capture flags for the duration of serialization so
+// the rings/tables/histograms are quiescent-ish while we read them, then
+// restores whatever was set.  The stats counters themselves are always-on
+// and unaffected.
+class CaptureFreeze {
+ public:
+  CaptureFreeze() : saved_(flags()) {
+    set_timing_enabled(false);
+    set_trace_enabled(false);
+    set_attribution_enabled(false);
+  }
+  ~CaptureFreeze() {
+    set_timing_enabled((saved_ & kTimingBit) != 0);
+    set_trace_enabled((saved_ & kTraceBit) != 0);
+    set_attribution_enabled((saved_ & kAttrBit) != 0);
+  }
+  CaptureFreeze(const CaptureFreeze&) = delete;
+  CaptureFreeze& operator=(const CaptureFreeze&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
+
+std::string escaped(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    if (*s == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(*s);
+  }
+  return out;
+}
+
+// The UNSLICED attribution tables.  /metrics exports top-10 slices; a
+// post-mortem needs every pair so `sum(conflict_pairs) == aborts_conflict`
+// is verifiable from the file alone.
+std::string attribution_full_json(const AttributionSnapshot& a) {
+  std::ostringstream os;
+  os << "{\n    \"conflicts_recorded\": " << attr_conflicts_total(a)
+     << ",\n    \"dropped\": " << a.dropped << ",\n    \"abort_sites\": [";
+  bool first = true;
+  for (const AttrEntry& e : a.abort_sites) {
+    os << (first ? "" : ", ") << "\n      {\"site\": \""
+       << escaped(site_name(attr_key_site(e.key))) << "\", \"reason\": \""
+       << attr_reason_name(attr_key_reason(e.key))
+       << "\", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "],\n    \"conflict_pairs\": [";
+  first = true;
+  for (const AttrEntry& e : a.conflict_pairs) {
+    os << (first ? "" : ", ") << "\n      {\"victim\": \""
+       << escaped(site_name(attr_pair_victim(e.key))) << "\", \"attacker\": \""
+       << escaped(site_name(attr_pair_attacker(e.key)))
+       << "\", \"reason\": \"" << attr_reason_name(attr_key_reason(e.key))
+       << "\", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "],\n    \"hot_stripes\": [";
+  first = true;
+  for (const AttrEntry& e : a.hot_stripes) {
+    os << (first ? "" : ", ") << "\n      {\"stripe\": "
+       << attr_stripe_index(e.key) << ", \"count\": " << e.count << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "]\n  }";
+  return os.str();
+}
+
+}  // namespace
+
+std::string flight_json(const FlightDumpOptions& opts) {
+  CaptureFreeze freeze;
+
+  // Capture every section while frozen.  Order matters only for humans.
+  const MetricsSnapshot snap = metrics_snapshot();
+
+  std::ostringstream os;
+  char upbuf[64];
+  std::snprintf(upbuf, sizeof upbuf, "%.3f", process_uptime_seconds());
+  os << "{\n\"tmcv_flight\": 1,\n\"meta\": {\"version\": \""
+     << TMCV_VERSION_STRING << "\", \"trace_compiled\": "
+     << (TMCV_TRACE ? "true" : "false")
+     << ", \"htm\": \"emulated\", \"reason\": \""
+     << escaped(opts.reason != nullptr ? opts.reason : "api")
+     << "\", \"uptime_seconds\": " << upbuf << "},\n\"alerts\": "
+     << watchdog().alerts_json() << ",\n\"metrics\": " << to_json(snap)
+     << ",\n\"history\": " << timeseries().to_json()
+     << ",\n\"attribution_full\": " << attribution_full_json(snap.attribution)
+     << ",\n\"trace\": " << chrome_trace_json() << "\n}\n";
+  return os.str();
+}
+
+bool flight_dump(const std::string& path, const FlightDumpOptions& opts) {
+  const std::string json = flight_json(opts);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Atomic publish: a concurrent validator sees the old file or the new
+  // one, never a prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tmcv::obs
+
+// C API (declared in core/c_api.h, same link contract as the telemetry
+// endpoint: requires tmcv_obs).
+extern "C" int tmcv_flight_dump(const char* path) {
+  if (path == nullptr || *path == '\0') return -1;
+  tmcv::obs::FlightDumpOptions opts;
+  opts.reason = "api";
+  return tmcv::obs::flight_dump(path, opts) ? 0 : -1;
+}

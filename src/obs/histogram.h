@@ -66,8 +66,22 @@ struct HistogramSnapshot {
   std::uint64_t buckets[hist_detail::kBuckets] = {};
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+  // Exact observed extrema: log buckets only bound a value to 1/16, so the
+  // live histogram tracks the true min/max separately (0/0 when empty).
+  // Advisory fields: merge (+=) combines them, but a delta (-=) keeps the
+  // minuend's values -- the extrema OF a window are unknowable from two
+  // cumulative snapshots, only bounded by them -- and operator== ignores
+  // them, so merge/delta algebra on the bucket contents is unaffected.
+  std::uint64_t min_value = 0;
+  std::uint64_t max_value = 0;
 
   HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept {
+    if (o.count != 0) {
+      min_value = count == 0 ? o.min_value
+                             : (o.min_value < min_value ? o.min_value
+                                                        : min_value);
+      max_value = o.max_value > max_value ? o.max_value : max_value;
+    }
     for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
       buckets[i] += o.buckets[i];
     count += o.count;
@@ -75,7 +89,8 @@ struct HistogramSnapshot {
     return *this;
   }
 
-  // Delta against an earlier snapshot of the same histogram.
+  // Delta against an earlier snapshot of the same histogram.  min/max keep
+  // the newer (cumulative) values: they bound the window loosely.
   HistogramSnapshot& operator-=(const HistogramSnapshot& o) noexcept {
     for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
       buckets[i] -= o.buckets[i];
@@ -113,12 +128,23 @@ struct HistogramSnapshot {
     return hist_detail::bucket_lower_bound(hist_detail::kBuckets - 1);
   }
 
-  // Lower bound of the highest populated bucket (approximate max); 0 when
+  // Exact maximum when the recorder tracked one; otherwise (hand-built
+  // snapshots) the lower bound of the highest populated bucket.  0 when
   // empty.
   [[nodiscard]] std::uint64_t max_observed() const noexcept {
+    if (max_value != 0) return max_value;
     for (std::size_t i = hist_detail::kBuckets; i > 0; --i)
       if (buckets[i - 1] != 0)
         return hist_detail::bucket_lower_bound(i - 1);
+    return 0;
+  }
+
+  // Exact minimum (same fallback rule); 0 when empty.
+  [[nodiscard]] std::uint64_t min_observed() const noexcept {
+    if (count == 0) return 0;
+    if (min_value != 0 || max_value != 0) return min_value;
+    for (std::size_t i = 0; i < hist_detail::kBuckets; ++i)
+      if (buckets[i] != 0) return hist_detail::bucket_lower_bound(i);
     return 0;
   }
 };
@@ -143,6 +169,18 @@ class LatencyHistogram {
         1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    // Exact extrema (log buckets alone lose them): lock-free CAS-min/max.
+    // The loops almost never iterate -- a new extreme is rare by definition.
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
@@ -155,6 +193,9 @@ class LatencyHistogram {
       s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     s.count = count_.load(std::memory_order_relaxed);
     s.sum = sum_.load(std::memory_order_relaxed);
+    const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+    s.min_value = (s.count == 0 || mn == kNoMin) ? 0 : mn;
+    s.max_value = s.count == 0 ? 0 : max_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -162,12 +203,18 @@ class LatencyHistogram {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
+    min_.store(kNoMin, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
   std::atomic<std::uint64_t> buckets_[hist_detail::kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <cctype>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "tmcv_version.h"
 
 namespace tmcv::obs {
 
@@ -48,6 +50,28 @@ void unregister_app_counters(AppCounterFn fn, void* ctx) {
   }
 }
 
+void scrape_app_counters_into(std::vector<AppCounter>& out) {
+  // Under the lock: orders against a concurrent unregister-then-destroy.
+  std::lock_guard<std::mutex> lock(app_sources_mu());
+  for (const AppSource& src : app_sources()) src.fn(src.ctx, out);
+}
+
+namespace {
+
+// Anchored the first time anything queries uptime; constant-initialized
+// early enough that "first scrape" and "process start" agree to well under
+// a second in every real deployment.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot s;
   s.tm = tm::stats_snapshot();
@@ -60,13 +84,7 @@ MetricsSnapshot metrics_snapshot() {
     s.trace_ring_drops.push_back(RingDrops{r.tid(), r.dropped()});
   });
   s.attribution = attribution_snapshot();
-  {
-    // Scrape every registered app source under the lock (sources are few
-    // and callbacks are relaxed loads; this also orders against a
-    // concurrent unregister-then-destroy).
-    std::lock_guard<std::mutex> lock(app_sources_mu());
-    for (const AppSource& src : app_sources()) src.fn(src.ctx, s.app);
-  }
+  scrape_app_counters_into(s.app);
   s.cv_wait_ns = hist_cv_wait().snapshot();
   s.notify_wake_ns = hist_notify_wake().snapshot();
   s.txn_commit_ns = hist_txn_commit().snapshot();
@@ -155,7 +173,12 @@ std::string escaped(const char* s) {
 
 std::string to_json(const MetricsSnapshot& s) {
   std::ostringstream os;
-  os << "{\n  \"tm\": {\n";
+  char upbuf[64];
+  std::snprintf(upbuf, sizeof upbuf, "%.3f", process_uptime_seconds());
+  os << "{\n  \"meta\": {\"version\": \"" << TMCV_VERSION_STRING
+     << "\", \"trace_compiled\": " << (TMCV_TRACE ? "true" : "false")
+     << ", \"htm\": \"emulated\", \"uptime_seconds\": " << upbuf
+     << "},\n  \"tm\": {\n";
   bool first = true;
   tm::Stats::for_each_field([&](const char* name,
                                 std::uint64_t tm::Stats::*field) {
@@ -245,6 +268,7 @@ std::string to_json(const MetricsSnapshot& s) {
        << ", \"p90\": " << h.hist->percentile(0.9)
        << ", \"p99\": " << h.hist->percentile(0.99)
        << ", \"p999\": " << h.hist->percentile(0.999)
+       << ", \"min\": " << h.hist->min_observed()
        << ", \"max\": " << h.hist->max_observed() << "}";
     first = false;
   });
@@ -261,6 +285,18 @@ std::string to_prometheus(const MetricsSnapshot& s) {
     os << "# HELP " << name << " " << help << "\n"
        << "# TYPE " << name << " " << type << "\n";
   };
+  // Uptime + an info-gauge first: they make scrapes across restarts
+  // attributable (uptime reset => counter resets expected).
+  header("tmcv_uptime_seconds", "gauge",
+         "Seconds since this process started.");
+  char upbuf[64];
+  std::snprintf(upbuf, sizeof upbuf, "%.3f", process_uptime_seconds());
+  os << "tmcv_uptime_seconds " << upbuf << "\n";
+  header("tmcv_build_info", "gauge",
+         "Build metadata as labels; value is always 1.");
+  os << "tmcv_build_info{version=\"" << TMCV_VERSION_STRING
+     << "\",htm=\"emulated\",trace=\"" << (TMCV_TRACE ? "on" : "off")
+     << "\"} 1\n";
   tm::Stats::for_each_field([&](const char* name,
                                 std::uint64_t tm::Stats::*field) {
     const std::string metric = std::string("tmcv_tm_") + name + "_total";
@@ -357,6 +393,14 @@ std::string to_prometheus(const MetricsSnapshot& s) {
     }
     os << metric << "_sum " << h.hist->sum << "\n"
        << metric << "_count " << h.hist->count << "\n";
+    // Exact extrema as sibling gauge families (summaries cannot carry
+    // them; log buckets alone would round them to 1/16).
+    header(metric + "_min", "gauge",
+           "Exact minimum recorded value in nanoseconds (0 when empty).");
+    os << metric << "_min " << h.hist->min_observed() << "\n";
+    header(metric + "_max", "gauge",
+           "Exact maximum recorded value in nanoseconds (0 when empty).");
+    os << metric << "_max " << h.hist->max_observed() << "\n";
   });
   return os.str();
 }

@@ -61,6 +61,12 @@ using AppCounterFn = void (*)(void* ctx, std::vector<AppCounter>& out);
 void register_app_counters(AppCounterFn fn, void* ctx);
 void unregister_app_counters(AppCounterFn fn, void* ctx);
 
+// Invoke every registered source into `out` (appended; caller clears).
+// This is the cheap path the time-series recorder ticks on: with `out`
+// capacity retained and SSO-sized names it performs no heap allocation,
+// unlike a full metrics_snapshot().
+void scrape_app_counters_into(std::vector<AppCounter>& out);
+
 struct MetricsSnapshot {
   tm::Stats tm;        // folded over live + retired TM threads
   CondVarStats cv;     // folded over live + destroyed condition variables
@@ -80,6 +86,11 @@ struct MetricsSnapshot {
                                       // inter-retry backoff
   HistogramSnapshot spin_park_ns;     // pre-park spin phase of slow waits
 };
+
+// Seconds since this process first touched the metrics registry (anchored
+// at static-init time in practice): the `tmcv_uptime_seconds` gauge, and
+// the freshness stamp in flight-recorder dumps.
+[[nodiscard]] double process_uptime_seconds();
 
 // Capture everything now.
 [[nodiscard]] MetricsSnapshot metrics_snapshot();
@@ -106,6 +117,10 @@ struct TaggedEvent {
   TraceEvent event;
   std::uint32_t tid;
 };
+
+// The Chrome trace document as a string (no trailing newline): what
+// write_chrome_trace() writes, reusable inline in a flight-recorder dump.
+[[nodiscard]] std::string chrome_trace_json();
 
 // Merge the retained events of every ring (exited threads included),
 // sorted by raw timestamp.  Call at quiescence.

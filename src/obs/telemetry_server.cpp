@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/watchdog.h"
 #include "util/net.h"
 
 namespace tmcv::obs {
@@ -172,7 +174,9 @@ struct TelemetryServer::Impl {
         snap = latest;
       }
       if (path == "/metrics") {
-        body = to_prometheus(snap);
+        // Watchdog gauges ride the Prometheus export so one scrape target
+        // covers counters and alerts.
+        body = to_prometheus(snap) + watchdog().prometheus();
       } else if (path == "/metrics.json") {
         content_type = "application/json";
         body = to_json(snap);
@@ -182,9 +186,18 @@ struct TelemetryServer::Impl {
       } else if (path == "/profile") {
         content_type = "application/json";
         body = profile_json(snap);
+      } else if (path == "/history") {
+        body = timeseries().to_text();
+      } else if (path == "/history.json") {
+        content_type = "application/json";
+        body = timeseries().to_json();
+      } else if (path == "/alerts") {
+        content_type = "application/json";
+        body = watchdog().alerts_json();
       } else {
         status = "404 Not Found";
-        body = "unknown path; try /metrics /metrics.json /healthz /profile\n";
+        body = "unknown path; try /metrics /metrics.json /healthz /profile "
+               "/history /history.json /alerts\n";
       }
     }
     std::ostringstream os;

@@ -25,39 +25,44 @@ std::vector<TaggedEvent> collect_trace_sorted() {
   return all;
 }
 
-bool write_chrome_trace(const std::string& path) {
+std::string chrome_trace_json() {
   const std::vector<TaggedEvent> all = collect_trace_sorted();
-
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
 
   const double ns_per_tick = TscClock::ns_per_tick();
   const std::uint64_t t0 = all.empty() ? 0 : all.front().event.ts;
-  bool ok = std::fputs("{\"traceEvents\":[", f) >= 0;
+  std::string out = "{\"traceEvents\":[";
+  out.reserve(128 + all.size() * 96);
+  char line[192];
   for (std::size_t i = 0; i < all.size(); ++i) {
     const TraceEvent& e = all[i].event;
     const auto type = static_cast<Event>(e.type);
     const double ts_us = static_cast<double>(e.ts - t0) * ns_per_tick / 1e3;
-    if (i != 0) ok = ok && std::fputc(',', f) != EOF;
-    ok = ok && std::fputc('\n', f) != EOF;
+    if (i != 0) out.push_back(',');
+    out.push_back('\n');
     if (event_has_duration(type)) {
       const double dur_us = static_cast<double>(e.dur) * ns_per_tick / 1e3;
-      ok = ok &&
-           std::fprintf(
-               f,
-               "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
-               "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
-               event_name(type), ts_us, dur_us, all[i].tid, e.arg) > 0;
+      std::snprintf(line, sizeof line,
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
+                    event_name(type), ts_us, dur_us, all[i].tid, e.arg);
     } else {
-      ok = ok &&
-           std::fprintf(
-               f,
-               "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
-               "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
-               event_name(type), ts_us, all[i].tid, e.arg) > 0;
+      std::snprintf(line, sizeof line,
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"arg\":%u}}",
+                    event_name(type), ts_us, all[i].tid, e.arg);
     }
+    out += line;
   }
-  ok = ok && std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f) >= 0;
+  out += "\n],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = ok && std::fputc('\n', f) != EOF;
   return std::fclose(f) == 0 && ok;
 }
 

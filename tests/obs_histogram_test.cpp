@@ -117,7 +117,49 @@ TEST(ObsHistogram, PercentileOfPointMass) {
   EXPECT_EQ(s.percentile(0.5), lo);
   EXPECT_EQ(s.percentile(0.99), lo);
   EXPECT_EQ(s.percentile(0.999), lo);
-  EXPECT_EQ(s.max_observed(), lo);
+  // Exact extrema, not the 1/16-wide bucket bound (regression: the bucket
+  // lower bound for 4242 is 4096, which misreported max by ~3.5%).
+  EXPECT_EQ(s.min_observed(), 4242u);
+  EXPECT_EQ(s.max_observed(), 4242u);
+}
+
+TEST(ObsHistogram, TracksExactMinMaxAcrossBuckets) {
+  obs::LatencyHistogram h;
+  h.record(777);
+  h.record(3);
+  h.record(123456789);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.min_observed(), 3u);
+  EXPECT_EQ(s.max_observed(), 123456789u);
+  EXPECT_EQ(s.min_value, 3u);
+  EXPECT_EQ(s.max_value, 123456789u);
+
+  // reset() forgets the extrema along with the buckets.
+  h.reset();
+  const obs::HistogramSnapshot r = h.snapshot();
+  EXPECT_EQ(r.min_observed(), 0u);
+  EXPECT_EQ(r.max_observed(), 0u);
+
+  // Merge combines extrema; only non-empty operands contribute.
+  obs::LatencyHistogram a, b;
+  a.record(50);
+  a.record(500);
+  b.record(7);
+  obs::HistogramSnapshot sum = a.snapshot();
+  sum += b.snapshot();
+  EXPECT_EQ(sum.min_observed(), 7u);
+  EXPECT_EQ(sum.max_observed(), 500u);
+  sum += obs::HistogramSnapshot{};  // empty: extrema unchanged
+  EXPECT_EQ(sum.min_observed(), 7u);
+  EXPECT_EQ(sum.max_observed(), 500u);
+
+  // Delta keeps the minuend's (cumulative) extrema -- a window's true
+  // extrema are unknowable from two cumulative snapshots -- and equality
+  // ignores them, preserving the (a + b) - b == a algebra.
+  const obs::HistogramSnapshot d = sum - b.snapshot();
+  EXPECT_EQ(d.min_value, sum.min_value);
+  EXPECT_EQ(d.max_value, sum.max_value);
+  EXPECT_TRUE(d == a.snapshot());
 }
 
 TEST(ObsHistogram, PercentileSplitsBimodalMass) {

@@ -19,6 +19,7 @@
 #include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "tm/api.h"
 #include "tm/var.h"
 
@@ -241,9 +242,20 @@ TEST_F(ObsPromTest, NewFamiliesAreExported) {
         "# TYPE tmcv_attr_stripe_conflicts_total counter",
         "# TYPE tmcv_attr_conflicts_recorded_total counter",
         "# TYPE tmcv_attr_dropped_total counter",
-        "# TYPE tmcv_trace_drops_total counter"}) {
+        "# TYPE tmcv_trace_drops_total counter",
+        // Build/uptime info-gauges (scrape attributability across restarts).
+        "# TYPE tmcv_uptime_seconds gauge",
+        "# TYPE tmcv_build_info gauge",
+        "tmcv_build_info{version=\"",
+        // Exact histogram extrema ride as sibling gauge families.
+        "# TYPE tmcv_notify_wake_ns_min gauge",
+        "# TYPE tmcv_notify_wake_ns_max gauge",
+        "tmcv_txn_commit_ns_min ", "tmcv_txn_commit_ns_max "}) {
     EXPECT_NE(prom.find(needle), std::string::npos) << "missing " << needle;
   }
+  // build_info carries the compile-time trace state as a label, value 1.
+  EXPECT_NE(prom.find(TMCV_TRACE ? ",trace=\"on\"} 1" : ",trace=\"off\"} 1"),
+            std::string::npos);
 #if TMCV_TRACE
   // The trace ring registered by generate_activity must be listed, drops
   // or not (the family is non-empty whenever rings exist).
@@ -251,6 +263,24 @@ TEST_F(ObsPromTest, NewFamiliesAreExported) {
   EXPECT_NE(prom.find("tmcv_attr_aborts_total{site=\"prom_test.rmw\""),
             std::string::npos);
 #endif
+}
+
+TEST_F(ObsPromTest, WatchdogGaugesConformToGrammar) {
+  // The /metrics route serves to_prometheus + watchdog().prometheus()
+  // concatenated; the combined document must still parse as one valid
+  // exposition (no duplicate families, headers before samples).
+  obs::Watchdog wd;
+  wd.start(obs::default_rules());
+  const std::string prom =
+      obs::to_prometheus(obs::metrics_snapshot()) + wd.prometheus();
+  wd.stop();
+  const std::vector<std::string> errors = check_exposition(prom);
+  std::string joined;
+  for (const std::string& e : errors) joined += e + "\n";
+  EXPECT_TRUE(errors.empty()) << joined;
+  EXPECT_NE(prom.find("# TYPE tmcv_alerts_firing gauge"), std::string::npos);
+  EXPECT_NE(prom.find("tmcv_alerts_firing{rule=\"park_imbalance\"} 0"),
+            std::string::npos);
 }
 
 // The parser itself must reject malformed exposition, or the grammar test

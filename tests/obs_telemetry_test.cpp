@@ -1,4 +1,4 @@
-// Telemetry-endpoint tests: ephemeral-port bind, all four routes over a raw
+// Telemetry-endpoint tests: ephemeral-port bind, all seven routes over a raw
 // loopback socket, error statuses, stop/restart, and the C API singleton.
 #include <gtest/gtest.h>
 
@@ -12,6 +12,8 @@
 
 #include "core/c_api.h"
 #include "obs/telemetry_server.h"
+#include "obs/timeseries.h"
+#include "obs/watchdog.h"
 
 namespace obs = tmcv::obs;
 
@@ -80,6 +82,18 @@ TEST(ObsTelemetryTest, ServesAllRoutesOnEphemeralPort) {
   EXPECT_NE(profile.find("\"conflict_pairs\""), std::string::npos);
   EXPECT_NE(profile.find("\"hot_stripes\""), std::string::npos);
 
+  // History + alerts routes answer even when the recorder/watchdog are not
+  // running: an empty-but-valid document, never a 404.
+  const std::string hist = http_get(server.port(), "/history.json");
+  EXPECT_NE(hist.find("200 OK"), std::string::npos);
+  EXPECT_NE(hist.find("application/json"), std::string::npos);
+  EXPECT_NE(hist.find("\"samples\""), std::string::npos);
+  EXPECT_NE(http_get(server.port(), "/history").find("200 OK"),
+            std::string::npos);
+  const std::string alerts = http_get(server.port(), "/alerts");
+  EXPECT_NE(alerts.find("200 OK"), std::string::npos);
+  EXPECT_NE(alerts.find("\"watchdog_running\""), std::string::npos);
+
   EXPECT_NE(http_get(server.port(), "/nope").find("404 Not Found"),
             std::string::npos);
   EXPECT_NE(http_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
@@ -96,6 +110,43 @@ TEST(ObsTelemetryTest, ServesAllRoutesOnEphemeralPort) {
   EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
             std::string::npos);
   server.stop();
+}
+
+TEST(ObsTelemetryTest, HistoryAndAlertRoutesReflectLiveRecorder) {
+  // Drive the recorder manually (no sampler thread) so the routes serve
+  // deterministic content, and check the watchdog gauges ride /metrics.
+  obs::TimeSeriesOptions ts;
+  ts.interval_ms = 10;
+  ts.depth = 8;
+  ts.sampler_thread = false;
+  ASSERT_TRUE(obs::timeseries().start(ts));
+  obs::timeseries().sample_now();
+  obs::watchdog().start(obs::default_rules());
+
+  obs::TelemetryServer server;
+  obs::TelemetryOptions opts;
+  opts.port = 0;
+  ASSERT_TRUE(server.start(opts));
+
+  const std::string hist = http_get(server.port(), "/history.json");
+  EXPECT_NE(hist.find("\"running\": true"), std::string::npos);
+  EXPECT_NE(hist.find("\"commits_per_sec\""), std::string::npos);
+  const std::string table = http_get(server.port(), "/history");
+  EXPECT_NE(table.find("commit/s"), std::string::npos);
+
+  const std::string alerts = http_get(server.port(), "/alerts");
+  EXPECT_NE(alerts.find("\"watchdog_running\": true"), std::string::npos);
+  EXPECT_NE(alerts.find("\"abort_storm\""), std::string::npos);
+
+  const std::string prom = http_get(server.port(), "/metrics");
+  EXPECT_NE(prom.find("tmcv_alerts_firing{rule=\"abort_storm\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tmcv_alerts_fired_total{rule=\"latency_p99\"}"),
+            std::string::npos);
+
+  server.stop();
+  obs::watchdog().stop();
+  obs::timeseries().stop();
 }
 
 TEST(ObsTelemetryTest, TakenPortFailsWithAddrInUse) {

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench JSON against a committed reference.
+
+The bench binaries (`--json` in bench/micro_tm.cpp, bench/micro_condvar.cpp,
+bench/kv_loadgen.cpp) emit one flat-ish JSON object per run; the repo
+commits blessed results as `BENCH_*.json`.  CI re-runs the benches into
+fresh `*_ci.json` files and this script compares the two, failing only on
+*catastrophic* regressions -- shared CI runners are far too noisy for tight
+thresholds, so the default tolerances are wide and documented here rather
+than scattered across workflow YAML:
+
+  * throughput: fresh `ops_per_sec` must be >= ref * --min-throughput-ratio
+    (default 0.20 -- a 5x collapse is a broken wake path or a serial-mode
+    livelock, not noise).
+  * aborts: fresh `abort_commit_ratio` must be <= ref + --max-abort-delta
+    (default 0.05 absolute -- catches an abort storm that throughput alone
+    can hide when the retry loop is cheap).
+  * shape: the two files must describe the same `benchmark`, and every
+    numeric scalar key in the reference must still exist in the fresh run
+    (a silently vanished counter usually means a stats-plumbing regression).
+    Missing keys are errors; *new* keys in the fresh run are fine.
+
+    tools/bench_check.py BENCH_micro_tm.json micro_tm_ci.json
+    tools/bench_check.py ref.json fresh.json --min-throughput-ratio 0.5
+    tools/bench_check.py --self-test
+
+Exit 0 on pass, 1 on any failed check (or unreadable input).  Only the
+standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def numeric_scalar_keys(doc):
+    return {k for k, v in doc.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def compare(ref, fresh, min_throughput_ratio=0.20, max_abort_delta=0.05):
+    """Return (failures, report_lines) for a ref/fresh bench JSON pair."""
+    failures = []
+    lines = []
+
+    ref_name = ref.get("benchmark")
+    fresh_name = fresh.get("benchmark")
+    if ref_name != fresh_name:
+        failures.append("benchmark mismatch: ref=%r fresh=%r"
+                        % (ref_name, fresh_name))
+        return failures, lines
+    lines.append("benchmark: %s" % ref_name)
+
+    missing = sorted(numeric_scalar_keys(ref) - numeric_scalar_keys(fresh))
+    if missing:
+        failures.append("fresh run lost numeric keys: %s" % ", ".join(missing))
+
+    ref_ops = ref.get("ops_per_sec")
+    fresh_ops = fresh.get("ops_per_sec")
+    if not isinstance(ref_ops, (int, float)) or ref_ops <= 0:
+        failures.append("reference has no positive ops_per_sec")
+    elif isinstance(fresh_ops, (int, float)):
+        ratio = fresh_ops / ref_ops
+        verdict = "ok" if ratio >= min_throughput_ratio else "FAIL"
+        lines.append("ops_per_sec: ref=%.0f fresh=%.0f ratio=%.3f "
+                     "(floor %.2f) %s"
+                     % (ref_ops, fresh_ops, ratio, min_throughput_ratio,
+                        verdict))
+        if verdict == "FAIL":
+            failures.append(
+                "throughput collapsed: %.0f vs ref %.0f (ratio %.3f < %.2f)"
+                % (fresh_ops, ref_ops, ratio, min_throughput_ratio))
+
+    ref_ab = ref.get("abort_commit_ratio")
+    fresh_ab = fresh.get("abort_commit_ratio")
+    if isinstance(ref_ab, (int, float)) and isinstance(fresh_ab, (int, float)):
+        ceiling = ref_ab + max_abort_delta
+        verdict = "ok" if fresh_ab <= ceiling else "FAIL"
+        lines.append("abort_commit_ratio: ref=%.6f fresh=%.6f "
+                     "(ceiling %.6f) %s" % (ref_ab, fresh_ab, ceiling,
+                                            verdict))
+        if verdict == "FAIL":
+            failures.append(
+                "abort ratio blew up: %.6f vs ref %.6f (+%.6f allowed)"
+                % (fresh_ab, ref_ab, max_abort_delta))
+    return failures, lines
+
+
+# ---------------------------------------------------------------------------
+# --self-test fixtures.
+
+_REF = {"benchmark": "micro_tm_read_heavy", "threads": 8,
+        "ops_per_sec": 2000000, "abort_commit_ratio": 0.001,
+        "commits": 1600000, "aborts": 1600}
+
+
+def self_test():
+    checks = []
+
+    def check(name, ok):
+        checks.append((name, bool(ok)))
+
+    fresh_ok = dict(_REF, ops_per_sec=1500000, abort_commit_ratio=0.002,
+                    extra_new_counter=7)
+    fails, _ = compare(_REF, fresh_ok)
+    check("healthy run passes (new keys allowed)", not fails)
+
+    fails, _ = compare(_REF, dict(_REF, ops_per_sec=100000))
+    check("throughput collapse fails",
+          any("collapsed" in f for f in fails))
+
+    fails, _ = compare(_REF, dict(_REF, abort_commit_ratio=0.2))
+    check("abort storm fails", any("abort ratio" in f for f in fails))
+
+    fails, _ = compare(_REF, dict(_REF, benchmark="other"))
+    check("benchmark mismatch fails", any("mismatch" in f for f in fails))
+
+    lost = dict(_REF)
+    del lost["commits"]
+    fails, _ = compare(_REF, lost)
+    check("vanished counter fails",
+          any("lost numeric keys" in f and "commits" in f for f in fails))
+
+    fails, _ = compare(_REF, dict(_REF, ops_per_sec=1900000),
+                       min_throughput_ratio=0.99)
+    check("custom ratio floor applies", fails)
+
+    fails, _ = compare({"benchmark": "x"}, {"benchmark": "x"})
+    check("ref without ops_per_sec fails", fails)
+
+    failed = [name for name, ok in checks if not ok]
+    for name in failed:
+        print("self-test FAILED: %s" % name, file=sys.stderr)
+    if failed:
+        return 1
+    print("self-test: %d checks ok" % len(checks))
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Compare a fresh bench JSON against a committed "
+                    "reference; fail on catastrophic regressions.")
+    ap.add_argument("ref", nargs="?", default=None,
+                    help="committed reference JSON (BENCH_*.json)")
+    ap.add_argument("fresh", nargs="?", default=None,
+                    help="freshly produced JSON from this run")
+    ap.add_argument("--min-throughput-ratio", type=float, default=0.20,
+                    help="fresh/ref ops_per_sec floor (default 0.20)")
+    ap.add_argument("--max-abort-delta", type=float, default=0.05,
+                    help="allowed absolute abort_commit_ratio increase "
+                         "(default 0.05)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded fixture suite and exit")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.ref is None or args.fresh is None:
+        ap.error("ref and fresh paths required (or --self-test)")
+
+    try:
+        ref = load(args.ref)
+        fresh = load(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+    failures, lines = compare(ref, fresh,
+                              min_throughput_ratio=args.min_throughput_ratio,
+                              max_abort_delta=args.max_abort_delta)
+    for line in lines:
+        print(line)
+    for f in failures:
+        print("bench-check FAIL: %s" % f, file=sys.stderr)
+    if failures:
+        return 1
+    print("bench-check ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

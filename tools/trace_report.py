@@ -12,6 +12,16 @@ https://ui.perfetto.dev for a timeline; this script gives the terminal view:
     tools/trace_report.py trace.json --tid 3      # restrict to one thread
     tools/trace_report.py trace.json --causal     # notify->wake edge analysis
     tools/trace_report.py trace.json --causal --validate   # exit 1 on violation
+    tools/trace_report.py flight.json --validate  # flight-recorder dump check
+    tools/trace_report.py --self-test             # stdlib-only fixture suite
+
+Flight-recorder dumps (src/obs/flight.cpp; `{"tmcv_flight": 1, ...}`) are
+detected automatically: --validate checks the section structure, that the
+embedded trace document is itself valid, and the attribution completeness
+invariant (the unsliced conflict pairs sum exactly to
+`conflicts_recorded`, and -- when attribution ran the whole process
+lifetime with nothing dropped -- to `metrics.tm.aborts_conflict`).  The
+default mode prints a section-by-section post-mortem summary.
 
 Causal analysis reconstructs the notify->wake->run edges from the event
 stream and checks token conservation: every cv.notify instant grants
@@ -96,6 +106,99 @@ def validate(doc):
     if any(b < a for a, b in zip(ts, ts[1:])):
         problems.append("traceEvents are not sorted by ts")
     return problems
+
+
+def is_flight(doc):
+    return isinstance(doc, dict) and doc.get("tmcv_flight") == 1
+
+
+FLIGHT_SECTIONS = ("meta", "alerts", "metrics", "history",
+                   "attribution_full", "trace")
+
+
+def validate_flight(doc):
+    """Return a list of problem strings for a flight-recorder dump."""
+    problems = []
+    for section in FLIGHT_SECTIONS:
+        if not isinstance(doc.get(section), dict):
+            problems.append("missing or non-object section `%s`" % section)
+    if problems:
+        return problems
+
+    meta = doc["meta"]
+    for field in ("version", "reason"):
+        if not isinstance(meta.get(field), str):
+            problems.append("meta.%s missing or not a string" % field)
+
+    # The embedded trace is a complete Chrome document in its own right.
+    problems += ["trace: " + p for p in validate(doc["trace"])]
+
+    history = doc["history"]
+    if not isinstance(history.get("samples"), list):
+        problems.append("history.samples missing or not a list")
+
+    alerts = doc["alerts"]
+    if not isinstance(alerts.get("alerts"), list):
+        problems.append("alerts.alerts missing or not a list")
+
+    # Completeness: the dump carries the UNSLICED pair table precisely so
+    # this is checkable offline.
+    attr = doc["attribution_full"]
+    pairs = attr.get("conflict_pairs")
+    recorded = attr.get("conflicts_recorded")
+    if not isinstance(pairs, list) or not isinstance(recorded, int):
+        problems.append("attribution_full.conflict_pairs/conflicts_recorded "
+                        "missing")
+    else:
+        total = sum(p.get("count", 0) for p in pairs if isinstance(p, dict))
+        if total != recorded:
+            problems.append(
+                "attribution pairs sum to %d but conflicts_recorded=%d"
+                % (total, recorded))
+        aborts_conflict = (doc["metrics"].get("tm", {})
+                           .get("aborts_conflict"))
+        dropped = attr.get("dropped", 0)
+        if (isinstance(aborts_conflict, int) and dropped == 0
+                and recorded > aborts_conflict):
+            problems.append(
+                "conflicts_recorded=%d exceeds tm.aborts_conflict=%d "
+                "with nothing dropped" % (recorded, aborts_conflict))
+    return problems
+
+
+def summarize_flight(doc):
+    meta = doc.get("meta", {})
+    print("flight dump: version=%s reason=%s uptime=%ss"
+          % (meta.get("version", "?"), meta.get("reason", "?"),
+             meta.get("uptime_seconds", "?")))
+    alerts = doc.get("alerts", {}).get("alerts", [])
+    firing = [a for a in alerts if a.get("firing")]
+    print("alerts: %d rules, %d firing%s"
+          % (len(alerts), len(firing),
+             " (" + ", ".join(a.get("rule", "?") for a in firing) + ")"
+             if firing else ""))
+    tm = doc.get("metrics", {}).get("tm", {})
+    print("tm: commits=%s aborts=%s aborts_conflict=%s"
+          % (tm.get("commits", "?"), tm.get("aborts", "?"),
+             tm.get("aborts_conflict", "?")))
+    samples = doc.get("history", {}).get("samples", [])
+    print("history: %d samples @ %s ms"
+          % (len(samples),
+             doc.get("history", {}).get("meta", {}).get("interval_ms", "?")))
+    attr = doc.get("attribution_full", {})
+    pairs = attr.get("conflict_pairs", [])
+    print("attribution: %d pairs, %s conflicts recorded, %s dropped"
+          % (len(pairs), attr.get("conflicts_recorded", "?"),
+             attr.get("dropped", "?")))
+    for p in pairs[:5]:
+        print("  %-16s <- %-16s %d" % (p.get("victim", "?"),
+                                       p.get("attacker", "?"),
+                                       p.get("count", 0)))
+    events = doc.get("trace", {}).get("traceEvents", [])
+    print("trace: %d events" % len(events))
+    if events:
+        print()
+        summarize(doc["trace"])
 
 
 def event_arg(ev):
@@ -277,14 +380,14 @@ def causal_morph_check(doc):
             timeline.append((ev["ts"] + ev.get("dur", 0.0), 1, None))
     timeline.sort(key=lambda t: (t[0], t[1]))
     violations = []
-    open_notifies = []
+    open_notifies = []  # FIFO of [notify_ts, remaining, last_end, granted]
     for when, kind, woken in timeline:
         if kind == 0:
             if woken > 0:
-                open_notifies.append([when, woken, None])
+                open_notifies.append([when, woken, None, woken])
         elif open_notifies:
             head = open_notifies[0]
-            if head[1] > 1 and head[2] is not None and when <= head[2]:
+            if head[3] > 1 and head[2] is not None and when <= head[2]:
                 if len(violations) < 5:
                     violations.append(
                         "morph: wakes at t=%.3fus and t=%.3fus from the "
@@ -297,10 +400,139 @@ def causal_morph_check(doc):
     return violations
 
 
+# ---------------------------------------------------------------------------
+# --self-test: embedded fixtures exercised with no files and no third-party
+# imports, so CI can sanity-check the analyzer itself in a bare container.
+
+_FIX_TRACE_OK = {"traceEvents": [
+    {"name": "cv.notify", "ph": "i", "ts": 0.0, "pid": 1, "tid": 1, "s": "t",
+     "args": {"arg": 2}},
+    {"name": "cv.wait", "ph": "X", "ts": 0.0, "dur": 5.0, "pid": 1, "tid": 2},
+    {"name": "cv.wait", "ph": "X", "ts": 1.0, "dur": 7.0, "pid": 1, "tid": 3},
+    {"name": "txn.abort", "ph": "i", "ts": 9.0, "pid": 1, "tid": 2, "s": "t",
+     "args": {"arg": 0}},
+]}
+
+_FIX_TRACE_BAD = {"traceEvents": [
+    {"name": "cv.wait", "ph": "X", "ts": 4.0, "pid": 1, "tid": 2},  # no dur
+    {"name": "cv.notify", "ph": "i", "ts": 1.0, "pid": 1, "tid": 1},  # !sorted
+]}
+
+# A wake with no preceding notify token: conservation must flag it.
+_FIX_CAUSAL_BAD = {"traceEvents": [
+    {"name": "cv.wait", "ph": "X", "ts": 0.0, "dur": 2.0, "pid": 1, "tid": 2},
+    {"name": "cv.notify", "ph": "i", "ts": 5.0, "pid": 1, "tid": 1, "s": "t",
+     "args": {"arg": 1}},
+]}
+
+# Two wakes from one multi-waiter notify ending at the same instant: a
+# stampede, which --morph-strict must reject (plain --causal accepts it).
+_FIX_MORPH_BAD = {"traceEvents": [
+    {"name": "cv.notify", "ph": "i", "ts": 0.0, "pid": 1, "tid": 1, "s": "t",
+     "args": {"arg": 2}},
+    {"name": "cv.wait", "ph": "X", "ts": 0.0, "dur": 3.0, "pid": 1, "tid": 2},
+    {"name": "cv.wait", "ph": "X", "ts": 1.0, "dur": 2.0, "pid": 1, "tid": 3},
+]}
+
+
+def _fixture_flight():
+    return {
+        "tmcv_flight": 1,
+        "meta": {"version": "1.0.0", "trace_compiled": True,
+                 "htm": "emulated", "reason": "self_test",
+                 "uptime_seconds": 1.5},
+        "alerts": {"watchdog_running": True, "alerts": [
+            {"rule": "abort_storm", "firing": True, "threshold": 0.5,
+             "last_value": 0.9, "breach_streak": 3, "fired_count": 1,
+             "min_activity": 100, "consecutive": 2, "last_change_ms": 2000},
+        ]},
+        "metrics": {"tm": {"commits": 100, "aborts": 90,
+                           "aborts_conflict": 88}},
+        "history": {"meta": {"interval_ms": 1000, "depth": 240,
+                             "samples_taken": 2, "running": True},
+                    "samples": [{"t_ms": 1000, "seq": 0, "commits": 50}]},
+        "attribution_full": {
+            "conflicts_recorded": 88, "dropped": 0,
+            "abort_sites": [],
+            "conflict_pairs": [
+                {"victim": "kv_set", "attacker": "kv_set", "count": 60},
+                {"victim": "kv_get", "attacker": "kv_set", "count": 28},
+            ],
+            "hot_stripes": [],
+        },
+        "trace": _FIX_TRACE_OK,
+    }
+
+
+def self_test():
+    import contextlib
+    import copy
+    import io
+
+    checks = []
+
+    def check(name, ok):
+        checks.append((name, bool(ok)))
+
+    check("validate accepts good trace", not validate(_FIX_TRACE_OK))
+    bad = validate(_FIX_TRACE_BAD)
+    check("validate flags missing dur", any("dur" in p for p in bad))
+    check("validate flags unsorted ts", any("sorted" in p for p in bad))
+
+    quiet = io.StringIO()
+    with contextlib.redirect_stdout(quiet):
+        good_v, _ = causal_report(_FIX_TRACE_OK)
+        bad_v, _ = causal_report(_FIX_CAUSAL_BAD)
+        dropped_v, dropped_w = causal_report(
+            _FIX_CAUSAL_BAD,
+            metrics={"trace": {"per_thread_drops": {"0": 7}}})
+        morph_ok_v, _ = causal_report(_FIX_MORPH_BAD)
+    check("causal passes conserving trace", not good_v)
+    check("causal flags tokenless wake", bad_v)
+    check("causal skips strict checks under drops",
+          not dropped_v and dropped_w)
+    check("causal alone accepts stampede", not morph_ok_v)
+    check("morph-strict flags stampede", causal_morph_check(_FIX_MORPH_BAD))
+    check("morph-strict passes serialized wakes",
+          not causal_morph_check(_FIX_TRACE_OK))
+
+    flight = _fixture_flight()
+    check("flight detector positive", is_flight(flight))
+    check("flight detector negative", not is_flight(_FIX_TRACE_OK))
+    check("flight validate accepts fixture", not validate_flight(flight))
+
+    broken = copy.deepcopy(flight)
+    broken["attribution_full"]["conflict_pairs"][0]["count"] = 1
+    check("flight validate flags pair-sum mismatch",
+          any("pairs sum" in p for p in validate_flight(broken)))
+
+    broken = copy.deepcopy(flight)
+    del broken["history"]
+    check("flight validate flags missing section",
+          any("history" in p for p in validate_flight(broken)))
+
+    broken = copy.deepcopy(flight)
+    broken["trace"]["traceEvents"][1].pop("dur")
+    check("flight validate recurses into trace",
+          any(p.startswith("trace:") for p in validate_flight(broken)))
+
+    with contextlib.redirect_stdout(quiet):
+        summarize_flight(flight)  # must not raise
+
+    failed = [name for name, ok in checks if not ok]
+    for name in failed:
+        print("self-test FAILED: %s" % name, file=sys.stderr)
+    if failed:
+        return 1
+    print("self-test: %d checks ok" % len(checks))
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description="Summarize/validate a Chrome trace from --trace.")
-    ap.add_argument("trace", help="path to the trace JSON")
+    ap.add_argument("trace", nargs="?", default=None,
+                    help="path to the trace (or flight-recorder) JSON")
     ap.add_argument("--validate", action="store_true",
                     help="check only; exit 1 on schema (or, with --causal, "
                          "causal) violations")
@@ -316,7 +548,14 @@ def main(argv=None):
     ap.add_argument("--metrics", default=None,
                     help="metrics JSON sibling (drop counts gate the strict "
                          "checks; notify_wake_ns cross-checks the latency)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded fixture suite and exit")
     args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.trace is None:
+        ap.error("trace path required (or --self-test)")
 
     try:
         doc = load(args.trace)
@@ -331,6 +570,29 @@ def main(argv=None):
         except (OSError, json.JSONDecodeError) as e:
             print("error: %s" % e, file=sys.stderr)
             return 1
+
+    if is_flight(doc):
+        flight_problems = validate_flight(doc)
+        if args.validate and not args.causal:
+            for p in flight_problems:
+                print("invalid: %s" % p, file=sys.stderr)
+            if flight_problems:
+                return 1
+            print("ok: flight dump, %d trace events, %d history samples"
+                  % (len(doc["trace"].get("traceEvents", [])),
+                     len(doc["history"].get("samples", []))))
+            return 0
+        if not args.causal:
+            if flight_problems:
+                for p in flight_problems:
+                    print("warning: %s" % p, file=sys.stderr)
+            summarize_flight(doc)
+            return 0
+        # --causal on a flight dump: analyze the embedded trace with the
+        # embedded metrics (unless the caller supplied a sibling explicitly).
+        if metrics is None:
+            metrics = doc.get("metrics")
+        doc = doc.get("trace", {})
 
     problems = validate(doc)
     if problems and (args.validate or args.causal):
