@@ -44,6 +44,7 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "tm/algs/adaptive.h"
 #include "tm/api.h"
 #include "tm/descriptor.h"
 #include "tm/var.h"
@@ -76,6 +77,7 @@ struct Config {
   const char* watchdog_dump = nullptr;  // flight dump path on alert fire
   double watchdog_abort_ratio = -1.0;   // override abort-storm threshold
   long storm_ms = 0;              // injected abort storm duration; 0: off
+  const char* backend = nullptr;  // --backend=NAME (auto: adaptive controller)
 };
 
 struct ClientResult {
@@ -253,6 +255,8 @@ int parse_args(int argc, char** argv, Config& cfg) {
       cfg.watchdog_abort_ratio = std::atof(a + 23);
     } else if (std::strncmp(a, "--storm-ms=", 11) == 0) {
       cfg.storm_ms = std::atol(a + 11);
+    } else if (std::strncmp(a, "--backend=", 10) == 0) {
+      cfg.backend = a + 10;
     } else {
       std::fprintf(
           stderr,
@@ -262,7 +266,8 @@ int parse_args(int argc, char** argv, Config& cfg) {
           "          [--capacity N] [--json [PATH]]\n"
           "          [--serve-metrics[=PORT]] [--hold-ms=N]\n"
           "          [--history[=MS]] [--watchdog[=DUMP.json]]\n"
-          "          [--watchdog-abort-ratio=F] [--storm-ms=N]\n",
+          "          [--watchdog-abort-ratio=F] [--storm-ms=N]\n"
+          "          [--backend=eager|lazy|htm|hybrid|norec|auto]\n",
           argv[0]);
       return 2;
     }
@@ -306,6 +311,20 @@ int main(int argc, char** argv) {
     tmcv::obs::watchdog().start(
         std::move(rules),
         cfg.watchdog_dump != nullptr ? cfg.watchdog_dump : "");
+  }
+
+  if (cfg.backend != nullptr) {
+    if (std::strcmp(cfg.backend, "auto") == 0) {
+      tmcv::tm::set_backend_auto(true);
+    } else {
+      tmcv::tm::Backend b{};
+      if (!tmcv::tm::backend_from_label(cfg.backend, b)) {
+        std::fprintf(stderr, "kv_loadgen: unknown --backend '%s'\n",
+                     cfg.backend);
+        return 2;
+      }
+      tmcv::tm::set_backend(b);
+    }
   }
 
   const bool embedded = cfg.connect_port < 0;
@@ -479,5 +498,6 @@ int main(int argc, char** argv) {
   if (embedded) server.stop();
   if (cfg.watchdog) tmcv::obs::watchdog().stop();
   if (cfg.history_ms > 0) tmcv::obs::timeseries().stop();
+  tmcv::tm::set_backend_auto(false);  // join the controller if --backend=auto
   return 0;
 }

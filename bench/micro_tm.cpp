@@ -31,6 +31,7 @@
 
 #include "core/c_api.h"
 #include "obs/attribution.h"
+#include "tm/algs/adaptive.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -53,6 +54,17 @@ std::string metrics_path_for(const char* out_path) {
 }
 
 using namespace tmcv::tm;
+
+// --backend=NAME from the command line (applies to every mode).  When set,
+// the JSON headers report the chosen label and the timed loops re-read the
+// process default per transaction, so `auto` (the adaptive controller) is
+// measured with its switches taking effect mid-run.
+struct BackendChoice {
+  bool set = false;
+  bool dynamic = false;  // --backend=auto: the controller owns the default
+  const char* label = nullptr;
+};
+BackendChoice g_backend_choice;
 
 Backend backend_of(const benchmark::State& state) {
   switch (state.range(0)) {
@@ -232,6 +244,83 @@ void BM_TmReadHeavy(benchmark::State& state) {
 BENCHMARK(BM_TmReadHeavy)->Arg(0)->Arg(1)->Threads(8)->UseRealTime();
 
 // ---------------------------------------------------------------------------
+// Backend sweep: per-backend throughput sections appended to the JSON
+// artifacts.  Runs AFTER the main profile's stats snapshot so the sweep's
+// counters never pollute the headline numbers; each leg installs its
+// backend via the quiesced switch and the `auto` leg runs the adaptive
+// controller (counting its observed switches).  Nested JSON objects are
+// invisible to bench_check's scalar diffing, so adding legs is always
+// ref-compatible.
+// ---------------------------------------------------------------------------
+
+struct SweepLeg {
+  const char* name;
+  double ops_per_sec;
+  std::uint64_t switches;  // runtime backend switches observed (auto leg)
+  double abort_commit_ratio;
+};
+
+template <typename RunFn>
+std::vector<SweepLeg> run_backend_sweep(const std::vector<const char*>& legs,
+                                        const RunFn& run) {
+  const Backend saved = default_backend();
+  std::vector<SweepLeg> out;
+  for (const char* name : legs) {
+    const Stats before = stats_snapshot();
+    double ops = 0;
+    if (std::strcmp(name, "auto") == 0) {
+      // Start the controller from EagerSTM (the process default) and give
+      // it enough wall-clock to converge: six back-to-back runs, reporting
+      // the best of the last three.  The leg's number is therefore the
+      // controller's steady-state choice, not the convergence transient,
+      // and any move away from eager is a genuine runtime switch.
+      set_backend(Backend::EagerSTM);
+      set_backend_auto(true);
+      for (int rep = 0; rep < 6; ++rep) {
+        const double r = run();
+        if (rep >= 3 && r > ops) ops = r;
+      }
+      set_backend_auto(false);
+    } else {
+      // Best of three: single-run legs are noisy enough on shared machines
+      // to invert the cross-backend ordering the sweep exists to record.
+      Backend b{};
+      if (!backend_from_label(name, b)) continue;
+      set_backend(b);
+      for (int rep = 0; rep < 3; ++rep) {
+        const double r = run();
+        if (r > ops) ops = r;
+      }
+    }
+    const Stats after = stats_snapshot();
+    const std::uint64_t d_commits = after.commits - before.commits;
+    const std::uint64_t d_aborts = after.aborts - before.aborts;
+    out.push_back(SweepLeg{name, ops,
+                           after.backend_switches - before.backend_switches,
+                           d_commits ? static_cast<double>(d_aborts) /
+                                           static_cast<double>(d_commits)
+                                     : 0.0});
+  }
+  set_backend_auto(false);
+  set_backend(saved);
+  return out;
+}
+
+void fprint_sweep(std::FILE* f, const std::vector<SweepLeg>& legs) {
+  std::fprintf(f, "  \"backend_sweep\": {");
+  bool first = true;
+  for (const SweepLeg& leg : legs) {
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"ops_per_sec\": %.0f, \"switches\": %llu, "
+                 "\"abort_commit_ratio\": %.6f}",
+                 first ? "" : ",", leg.name, leg.ops_per_sec,
+                 (unsigned long long)leg.switches, leg.abort_commit_ratio);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+}
+
+// ---------------------------------------------------------------------------
 // Contended write-heavy zipfian workload (the contention-path anchor)
 // ---------------------------------------------------------------------------
 //
@@ -396,6 +485,14 @@ int run_json_contended_mode(const char* out_path) {
   const Stats st = stats_snapshot();
   const double attempts =
       static_cast<double>(st.commits) + static_cast<double>(st.aborts);
+  // Sweep after the headline snapshot: the "lazy" leg is the committed
+  // profile's own shape (the closures request LazySTM/Hybrid explicitly),
+  // "eager" forces encounter-time locking on the same mix, "norec" coerces
+  // the whole mix through the family override, and "auto" starts from
+  // EagerSTM and reports the controller's converged steady state.
+  const std::vector<SweepLeg> sweep = run_backend_sweep(
+      {"eager", "lazy", "norec", "auto"},
+      [&] { return run_contended_once(s, kThreads, kTxnsPerThread); });
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::perror("fopen");
@@ -404,8 +501,14 @@ int run_json_contended_mode(const char* out_path) {
   std::fprintf(f,
                "{\n"
                "  \"benchmark\": \"micro_tm_contended_zipf\",\n"
-               "  \"backend\": \"LazySTM+Hybrid\",\n"
-               "  \"threads\": %d,\n"
+               "  \"backend\": \"%s\",\n"
+               "  \"spin_budget\": %u,\n"
+               "  \"threads\": %d,\n",
+               g_backend_choice.set ? g_backend_choice.label
+                                    : "LazySTM+Hybrid",
+               tmcv_get_spin_budget(), kThreads);
+  fprint_sweep(f, sweep);
+  std::fprintf(f,
                "  \"txns_per_thread\": %d,\n"
                "  \"writes_per_txn\": %d,\n"
                "  \"reads_per_txn\": %d,\n"
@@ -431,7 +534,7 @@ int run_json_contended_mode(const char* out_path) {
                "  \"aborts_explicit\": %llu,\n"
                "  \"aborts_retry_wait\": %llu\n"
                "}\n",
-               kThreads, kTxnsPerThread, kCwWrites, kCwReads, kCwHeavyEvery,
+               kTxnsPerThread, kCwWrites, kCwReads, kCwHeavyEvery,
                kCwHeavyWrites, kCwVars, kCwTheta, kReps,
                best,
                attempts ? static_cast<double>(st.aborts) / attempts : 0.0,
@@ -469,7 +572,11 @@ int run_json_contended_mode(const char* out_path) {
 // --json mode: standalone read-heavy run for BENCH_micro_tm.json
 // ---------------------------------------------------------------------------
 
-double run_read_heavy_once(ReadHeavyState& s, int threads, int txns_per_thread) {
+// `dynamic` re-reads the process default per transaction, so the adaptive
+// controller's mid-run switches actually take effect inside the loop (a
+// fixed `b` would pin every transaction to the leg's starting backend).
+double run_read_heavy_once(ReadHeavyState& s, Backend b, bool dynamic,
+                           int threads, int txns_per_thread) {
   std::atomic<int> go{0};
   std::vector<std::thread> ts;
   tmcv::Stopwatch sw;
@@ -479,23 +586,28 @@ double run_read_heavy_once(ReadHeavyState& s, int threads, int txns_per_thread) 
       while (go.load() < threads) {
       }
       for (int i = 0; i < txns_per_thread; ++i)
-        read_heavy_txn(s, Backend::EagerSTM, t, i);
+        read_heavy_txn(s, dynamic ? default_backend() : b, t, i);
     });
   }
   for (auto& th : ts) th.join();
   return static_cast<double>(threads) * txns_per_thread / sw.elapsed_seconds();
 }
 
+
 int run_json_mode(const char* out_path) {
   constexpr int kThreads = 8;
   constexpr int kTxnsPerThread = 40000;
   constexpr int kReps = 5;
   ReadHeavyState& s = read_heavy_state();
-  run_read_heavy_once(s, kThreads, kTxnsPerThread / 4);  // warm-up
+  const bool dyn = g_backend_choice.set;
+  run_read_heavy_once(s, Backend::EagerSTM, dyn, kThreads,
+                      kTxnsPerThread / 4);  // warm-up
   stats_reset();
   double best = 0;
   for (int rep = 0; rep < kReps; ++rep) {
-    const double r = run_read_heavy_once(s, kThreads, kTxnsPerThread);
+    const double r =
+        run_read_heavy_once(s, Backend::EagerSTM, dyn, kThreads,
+                            kTxnsPerThread);
     if (r > best) best = r;
   }
   const Stats st = stats_snapshot();
@@ -505,8 +617,15 @@ int run_json_mode(const char* out_path) {
   // snapshot carries txn-duration percentiles without perturbing the
   // throughput reps above.
   tmcv::obs::set_timing_enabled(true);
-  run_read_heavy_once(s, kThreads, kTxnsPerThread);
+  run_read_heavy_once(s, Backend::EagerSTM, dyn, kThreads, kTxnsPerThread);
   tmcv::obs::set_timing_enabled(false);
+  // Per-backend sweep after the headline snapshot (run_backend_sweep does
+  // the best-of-reps smoothing and the auto leg's convergence reps).
+  const std::vector<SweepLeg> sweep = run_backend_sweep(
+      {"eager", "lazy", "norec", "auto"}, [&] {
+        return run_read_heavy_once(s, Backend::EagerSTM, true, kThreads,
+                                   kTxnsPerThread);
+      });
   std::FILE* f = std::fopen(out_path, "w");
   if (!f) {
     std::perror("fopen");
@@ -515,8 +634,13 @@ int run_json_mode(const char* out_path) {
   std::fprintf(f,
                "{\n"
                "  \"benchmark\": \"micro_tm_read_heavy\",\n"
-               "  \"backend\": \"EagerSTM\",\n"
-               "  \"threads\": %d,\n"
+               "  \"backend\": \"%s\",\n"
+               "  \"spin_budget\": %u,\n"
+               "  \"threads\": %d,\n",
+               g_backend_choice.set ? g_backend_choice.label : "EagerSTM",
+               tmcv_get_spin_budget(), kThreads);
+  fprint_sweep(f, sweep);
+  std::fprintf(f,
                "  \"txns_per_thread\": %d,\n"
                "  \"reads_per_txn\": %d,\n"
                "  \"writes_per_txn\": %d,\n"
@@ -536,7 +660,7 @@ int run_json_mode(const char* out_path) {
                "  \"aborts_explicit\": %llu,\n"
                "  \"aborts_retry_wait\": %llu\n"
                "}\n",
-               kThreads, kTxnsPerThread, 2 * kRhScan + kRhWrites, kRhWrites,
+               kTxnsPerThread, 2 * kRhScan + kRhWrites, kRhWrites,
                kReps, best,
                attempts ? static_cast<double>(st.aborts) / attempts : 0.0,
                st.commits ? static_cast<double>(st.aborts) /
@@ -562,6 +686,143 @@ int run_json_mode(const char* out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --json-norec mode: the NOrec headline profile for BENCH_micro_tm_norec.json
+// ---------------------------------------------------------------------------
+//
+// Read-MOSTLY at 2 threads -- the workload class NOrec was designed for.
+// Most transactions are pure scans over a wide var array (every read is a
+// distinct location, so the orec backends pay a stripe lookup + version
+// check per read while NOrec pays one append and a check of the single
+// global counter); one transaction in kNpWriterEvery does a couple of
+// read-modify-writes confined to the thread's own half of the array, so
+// the commit counter moves rarely (cheap revalidation) and writers never
+// collide (uncontended by construction).  Eager and lazy run the identical
+// workload first so the artifact carries its own baseline (and bench_check
+// can gate the committed speedup ratio without cross-file joins).
+
+constexpr int kNpVars = 4096;
+constexpr int kNpScan = 96;        // reads per scan transaction
+constexpr int kNpWrites = 2;       // RMWs per writer transaction
+constexpr int kNpWriterEvery = 8;  // 1-in-8 transactions write
+
+struct NorecProfileState {
+  std::vector<std::unique_ptr<var<std::uint64_t>>> arr;
+  NorecProfileState() {
+    for (int i = 0; i < kNpVars; ++i)
+      arr.push_back(std::make_unique<var<std::uint64_t>>(i));
+  }
+};
+
+void norec_profile_txn(NorecProfileState& s, int t, int i) {
+  constexpr int kHalf = kNpVars / 2;
+  atomically([&] {
+    TMCV_TXN_SITE("norec_profile.scan");
+    if (i % kNpWriterEvery == 0) {
+      for (int w = 0; w < kNpWrites; ++w) {
+        auto* v = s.arr[t * kHalf + (i + w * 61) % kHalf].get();
+        v->store(v->load() + 1);
+      }
+      return;
+    }
+    std::uint64_t sum = 0;
+    for (int k = 0; k < kNpScan; ++k)
+      sum += s.arr[(t * kHalf + i * 31 + k * 37) % kNpVars]->load();
+    (void)sum;
+  });
+}
+
+double run_norec_profile_once(NorecProfileState& s, int threads,
+                              int txns_per_thread) {
+  std::atomic<int> go{0};
+  std::vector<std::thread> ts;
+  tmcv::Stopwatch sw;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      go.fetch_add(1);
+      while (go.load() < threads) {
+      }
+      for (int i = 0; i < txns_per_thread; ++i) norec_profile_txn(s, t, i);
+    });
+  }
+  for (auto& th : ts) th.join();
+  return static_cast<double>(threads) * txns_per_thread / sw.elapsed_seconds();
+}
+
+int run_json_norec_mode(const char* out_path) {
+  constexpr int kThreads = 2;
+  constexpr int kTxnsPerThread = 40000;
+  constexpr int kReps = 5;
+  NorecProfileState s;
+  const Backend saved = default_backend();
+  Stats norec_window{};
+  const auto leg = [&](Backend b, bool snapshot_window) {
+    set_backend(b);
+    run_norec_profile_once(s, kThreads, kTxnsPerThread / 4);  // warm-up
+    if (snapshot_window) stats_reset();
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double r = run_norec_profile_once(s, kThreads, kTxnsPerThread);
+      if (r > best) best = r;
+    }
+    if (snapshot_window) norec_window = stats_snapshot();
+    return best;
+  };
+  const double eager = leg(Backend::EagerSTM, false);
+  const double lazy = leg(Backend::LazySTM, false);
+  const double norec = leg(Backend::NOrec, true);
+  set_backend(saved);
+  const double best_fixed = eager > lazy ? eager : lazy;
+  const Stats& st = norec_window;
+  const double attempts =
+      static_cast<double>(st.commits) + static_cast<double>(st.aborts);
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::perror("fopen");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"micro_tm_norec_read_heavy\",\n"
+               "  \"backend\": \"NOrec\",\n"
+               "  \"spin_budget\": %u,\n"
+               "  \"threads\": %d,\n"
+               "  \"txns_per_thread\": %d,\n"
+               "  \"reads_per_txn\": %d,\n"
+               "  \"writes_per_txn\": %d,\n"
+               "  \"writer_txn_every\": %d,\n"
+               "  \"reps\": %d,\n"
+               "  \"ops_per_sec\": %.0f,\n"
+               "  \"eager_ops_per_sec\": %.0f,\n"
+               "  \"lazy_ops_per_sec\": %.0f,\n"
+               "  \"speedup_vs_best_fixed\": %.4f,\n"
+               "  \"abort_rate\": %.6f,\n"
+               "  \"commits\": %llu,\n"
+               "  \"aborts\": %llu,\n"
+               "  \"norec_commits\": %llu,\n"
+               "  \"norec_validations\": %llu,\n"
+               "  \"norec_val_failures\": %llu\n"
+               "}\n",
+               tmcv_get_spin_budget(), kThreads, kTxnsPerThread,
+               kNpScan, kNpWrites, kNpWriterEvery, kReps, norec, eager, lazy,
+               best_fixed > 0 ? norec / best_fixed : 0.0,
+               attempts ? static_cast<double>(st.aborts) / attempts : 0.0,
+               (unsigned long long)st.commits, (unsigned long long)st.aborts,
+               (unsigned long long)st.norec_commits,
+               (unsigned long long)st.norec_validations,
+               (unsigned long long)st.norec_val_failures);
+  std::fclose(f);
+  const std::string mpath = metrics_path_for(out_path);
+  if (!tmcv::obs::write_metrics_files(tmcv::obs::metrics_snapshot(), mpath)) {
+    std::perror("write_metrics_files");
+    return 1;
+  }
+  std::printf("wrote %s (norec=%.0f eager=%.0f lazy=%.0f, x%.3f) and %s\n",
+              out_path, norec, eager, lazy,
+              best_fixed > 0 ? norec / best_fixed : 0.0, mpath.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -574,12 +835,17 @@ int main(int argc, char** argv) {
   //   --history[=MS]          time-series recorder at MS ms cadence (1000)
   //   --watchdog              SLO watchdog on default rules (implies
   //                           --history; enables timing + attribution)
+  //   --backend=NAME          eager|lazy|htm|hybrid|norec pins the process
+  //                           default (quiesced switch); `auto` runs the
+  //                           adaptive controller for the whole run
   bool serve = false;
   int serve_port = 0;
   long hold_ms = 0;
   long history_ms = 0;
   bool watchdog_on = false;
-  int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-contended
+  const char* backend_arg = nullptr;
+  // 0 = google-benchmark, 1 = --json, 2 = --json-contended, 3 = --json-norec
+  int mode = 0;
   const char* out_path = nullptr;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
@@ -597,14 +863,36 @@ int main(int argc, char** argv) {
       if (history_ms <= 0) history_ms = 1000;
     } else if (std::strcmp(a, "--watchdog") == 0) {
       watchdog_on = true;
+    } else if (std::strncmp(a, "--backend=", 10) == 0) {
+      backend_arg = a + 10;
     } else if (std::strcmp(a, "--json-contended") == 0) {
       mode = 2;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (std::strcmp(a, "--json-norec") == 0) {
+      mode = 3;
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
     } else if (std::strcmp(a, "--json") == 0) {
       mode = 1;
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
     } else {
       passthrough.push_back(argv[i]);
+    }
+  }
+  if (backend_arg != nullptr) {
+    if (std::strcmp(backend_arg, "auto") == 0) {
+      set_backend_auto(true);
+      g_backend_choice = {true, true, "auto"};
+    } else {
+      Backend b{};
+      if (!backend_from_label(backend_arg, b)) {
+        std::fprintf(stderr,
+                     "micro_tm: unknown --backend '%s' (want "
+                     "eager|lazy|htm|hybrid|norec|auto)\n",
+                     backend_arg);
+        return 1;
+      }
+      set_backend(b);
+      g_backend_choice = {true, false, backend_label(b)};
     }
   }
   if (serve) {
@@ -632,7 +920,10 @@ int main(int argc, char** argv) {
   if (watchdog_on)
     tmcv::obs::watchdog().start(tmcv::obs::default_rules());
   int rc = 0;
-  if (mode == 2) {
+  if (mode == 3) {
+    rc = run_json_norec_mode(out_path ? out_path
+                                      : "BENCH_micro_tm_norec.json");
+  } else if (mode == 2) {
     rc = run_json_contended_mode(out_path ? out_path
                                           : "BENCH_micro_tm_contended.json");
   } else if (mode == 1) {
@@ -653,5 +944,6 @@ int main(int argc, char** argv) {
   }
   if (watchdog_on) tmcv::obs::watchdog().stop();
   if (history_ms > 0) tmcv::obs::timeseries().stop();
+  set_backend_auto(false);  // join the controller if --backend=auto ran
   return rc;
 }

@@ -2,7 +2,8 @@
 // backend, threads) cell of the evaluation grid, with TM statistics.
 //
 //   run_kernel <kernel> [--system pthread|tmcv|tm] [--threads N]
-//              [--backend eager|lazy|htm|hybrid] [--scale X] [--trials N]
+//              [--backend eager|lazy|htm|hybrid|norec|auto] [--scale X]
+//              [--trials N]
 //              [--trace out.json] [--metrics out.json]
 //              [--serve-metrics PORT] [--hold-ms N]
 //   run_kernel --list
@@ -23,6 +24,7 @@
 #include "core/c_api.h"
 #include "obs/trace.h"
 #include "parsec/runner.h"
+#include "tm/algs/adaptive.h"
 #include "tm/api.h"
 #include "util/stats.h"
 
@@ -33,7 +35,7 @@ using namespace tmcv;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <kernel> [--system pthread|tmcv|tm] [--threads N]\n"
-               "          [--backend eager|lazy|htm|hybrid] [--scale X]\n"
+               "          [--backend eager|lazy|htm|hybrid|norec|auto] [--scale X]\n"
                "          [--trials N] [--trace out.json] [--metrics out.json]\n"
                "          [--serve-metrics PORT] [--hold-ms N]\n"
                "       %s --list\n",
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
 
   parsec::System system = parsec::System::Pthread;
   tm::Backend backend = tm::Backend::EagerSTM;
+  bool backend_auto = false;
   parsec::KernelConfig cfg;
   parsec::ObsOutputs obs_out;
   int trials = 3;
@@ -86,15 +89,9 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
     } else if (arg == "--backend") {
       const std::string v = next();
-      if (v == "eager")
-        backend = tm::Backend::EagerSTM;
-      else if (v == "lazy")
-        backend = tm::Backend::LazySTM;
-      else if (v == "htm")
-        backend = tm::Backend::HTM;
-      else if (v == "hybrid")
-        backend = tm::Backend::Hybrid;
-      else
+      if (v == "auto")
+        backend_auto = true;
+      else if (!tm::backend_from_label(v.c_str(), backend))
         return usage(argv[0]);
     } else if (arg == "--threads") {
       cfg.threads = std::atoi(next());
@@ -117,6 +114,7 @@ int main(int argc, char** argv) {
   }
 
   tm::set_default_backend(backend);
+  if (backend_auto) tm::set_backend_auto(true);
   tm::stats_reset();
   obs_out.enable();
   if (serve) {
@@ -158,6 +156,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
     tmcv_telemetry_stop();
   }
+  tm::set_backend_auto(false);
   tm::set_default_backend(tm::Backend::EagerSTM);
   return 0;
 }

@@ -9,6 +9,8 @@
 #include "sync/spin.h"
 #include "sync/sync_context.h"
 #include "sync/wait_morph.h"
+#include "tm/algs/adaptive.h"
+#include "tm/api.h"
 
 struct tmcv_cond {
   tmcv::CondVar cv;
@@ -79,5 +81,22 @@ void tmcv_set_wait_morphing(int enabled) {
 }
 
 int tmcv_get_wait_morphing(void) { return tmcv::wait_morphing() ? 1 : 0; }
+
+int tmcv_tm_set_backend(const char* name) {
+  if (name == nullptr) return -1;
+  tmcv::tm::Backend b{};
+  if (!tmcv::tm::backend_from_label(name, b)) return -1;
+  tmcv::tm::set_backend_auto(false);  // manual pin overrides the controller
+  tmcv::tm::set_backend(b);
+  return 0;
+}
+
+void tmcv_tm_set_backend_auto(int enabled) {
+  tmcv::tm::set_backend_auto(enabled != 0);
+}
+
+const char* tmcv_tm_get_backend(void) {
+  return tmcv::tm::backend_label(tmcv::tm::default_backend());
+}
 
 }  // extern "C"

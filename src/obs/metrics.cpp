@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "tm/api.h"
 #include "tmcv_version.h"
 
 namespace tmcv::obs {
@@ -75,6 +77,7 @@ double process_uptime_seconds() {
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot s;
   s.tm = tm::stats_snapshot();
+  s.tm_backend = tm::backend_label(tm::default_backend());
   s.cv = condvar_stats_aggregate();
   s.wake = wake_stats_snapshot();
   const TraceCounts tc = trace_counts();
@@ -178,13 +181,24 @@ std::string to_json(const MetricsSnapshot& s) {
   os << "{\n  \"meta\": {\"version\": \"" << TMCV_VERSION_STRING
      << "\", \"trace_compiled\": " << (TMCV_TRACE ? "true" : "false")
      << ", \"htm\": \"emulated\", \"uptime_seconds\": " << upbuf
-     << "},\n  \"tm\": {\n";
-  bool first = true;
+     << "},\n  \"tm\": {\n    \"backend\": \"" << s.tm_backend << "\"";
+  bool first = false;
   tm::Stats::for_each_field([&](const char* name,
                                 std::uint64_t tm::Stats::*field) {
     os << (first ? "" : ",\n") << "    \"" << name << "\": " << s.tm.*field;
     first = false;
   });
+  // Per-backend abort-reason matrix (nested object: scalar-diffing tools
+  // skip it; tmcv-top and the backend-smoke CI step read it).
+  os << ",\n    \"aborts_by_backend\": {";
+  for (std::size_t b = 0; b < tm::kStatsBackends; ++b) {
+    os << (b ? ", " : "") << "\"" << tm::stats_backend_label(b) << "\": {";
+    for (std::size_t r = 0; r < tm::kStatsAbortReasons; ++r)
+      os << (r ? ", " : "") << "\"" << tm::stats_abort_reason_label(r)
+         << "\": " << s.tm.aborts_by_backend[b][r];
+    os << "}";
+  }
+  os << "}";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.6f", s.tm.dedup_hit_rate());
   os << ",\n    \"dedup_hit_rate\": " << buf;
@@ -297,11 +311,25 @@ std::string to_prometheus(const MetricsSnapshot& s) {
   os << "tmcv_build_info{version=\"" << TMCV_VERSION_STRING
      << "\",htm=\"emulated\",trace=\"" << (TMCV_TRACE ? "on" : "off")
      << "\"} 1\n";
+  header("tmcv_tm_backend", "gauge",
+         "Current default TM backend as a label; value is always 1.");
+  os << "tmcv_tm_backend{backend=\"" << s.tm_backend << "\"} 1\n";
   tm::Stats::for_each_field([&](const char* name,
                                 std::uint64_t tm::Stats::*field) {
     const std::string metric = std::string("tmcv_tm_") + name + "_total";
     header(metric, "counter", "Cumulative TM runtime counter (tm::Stats).");
     os << metric << " " << s.tm.*field << "\n";
+    if (std::strcmp(name, "aborts") == 0) {
+      // The per-backend abort-reason breakdown rides the same family as
+      // labeled samples (one HELP/TYPE header above covers them), so
+      // sum by (backend) or by (reason) stays comparable to the unlabeled
+      // process total.
+      for (std::size_t b = 0; b < tm::kStatsBackends; ++b)
+        for (std::size_t r = 0; r < tm::kStatsAbortReasons; ++r)
+          os << metric << "{backend=\"" << tm::stats_backend_label(b)
+             << "\",reason=\"" << tm::stats_abort_reason_label(r) << "\"} "
+             << s.tm.aborts_by_backend[b][r] << "\n";
+    }
   });
   CondVarStats::for_each_field([&](const char* name,
                                    std::uint64_t CondVarStats::*field) {

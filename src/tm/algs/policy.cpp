@@ -1,0 +1,43 @@
+#include "tm/algs/policy.h"
+
+#include "tm/api.h"
+#include "util/assert.h"
+
+namespace tmcv::tm {
+
+const algs::AlgMethods& TxDescriptor::alg_methods(Backend b) noexcept {
+  // Built inside a member function because forming pointers to the private
+  // backend methods requires member access.  One row per runnable backend;
+  // Hybrid never reaches a descriptor (the retry loop resolves it), but
+  // gets a defensive eager row so an indexing bug fails loudly in debug
+  // rather than through a null member pointer.
+  static constexpr algs::AlgMethods kAlgTable[kBackendCount] = {
+      {Backend::EagerSTM, &TxDescriptor::write_eager,
+       &TxDescriptor::commit_eager, &TxDescriptor::reads_valid_orec,
+       /*undo_on_rollback=*/true},
+      {Backend::LazySTM, &TxDescriptor::write_lazy, &TxDescriptor::commit_lazy,
+       &TxDescriptor::reads_valid_orec, /*undo_on_rollback=*/false},
+      {Backend::HTM, &TxDescriptor::write_eager, &TxDescriptor::commit_eager,
+       &TxDescriptor::reads_valid_orec, /*undo_on_rollback=*/true},
+      {Backend::Hybrid, &TxDescriptor::write_eager, &TxDescriptor::commit_eager,
+       &TxDescriptor::reads_valid_orec, /*undo_on_rollback=*/true},
+      {Backend::NOrec, &TxDescriptor::write_lazy, &TxDescriptor::commit_norec,
+       &TxDescriptor::reads_valid_norec, /*undo_on_rollback=*/false},
+  };
+  const auto i = static_cast<std::size_t>(b);
+  TMCV_DEBUG_ASSERT(i < kBackendCount);
+  return kAlgTable[i];
+}
+
+namespace algs {
+
+Backend resolve_backend(Backend req) noexcept {
+  const Backend def = default_backend();
+  if (def == Backend::NOrec) return Backend::NOrec;
+  if (req == Backend::NOrec) return Backend::LazySTM;
+  return req;
+}
+
+}  // namespace algs
+
+}  // namespace tmcv::tm

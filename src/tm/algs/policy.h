@@ -1,0 +1,52 @@
+// The pluggable TM algorithm layer (libitm-style method set).
+//
+// Each optimistic backend is a row in a static method table: the write
+// barrier, the commit protocol, the snapshot-validation predicate, and a
+// rollback policy flag.  A descriptor caches a pointer to its row at
+// begin (TxDescriptor::alg_), so backend dispatch on the write/commit/
+// validate paths is one indirect member call -- paths already dominated by
+// CAS and log traffic.  The READ fast path deliberately stays the inlined
+// enum dispatch in descriptor.h: it is the one barrier hot enough that an
+// indirect call shows up, and keeping it branch-predicted preserves the
+// eager fast path bit-for-bit.
+//
+// Contract for a backend row (see docs/BACKENDS.md):
+//   write    -- buffer or publish one word inside an open transaction.
+//               May abort (throw TxAbort via abort_restart); must leave
+//               the descriptor rollback-able at every point.
+//   commit   -- validate + publish + reset_logs + bump_commit_signal for
+//               writing transactions; count ro_commits for read-only ones.
+//               Runs with state_ == Optimistic; commit_top handles the
+//               post-commit bookkeeping (state, activity, handlers).
+//   validate -- true iff every logged read is still consistent with the
+//               current snapshot.  Must NOT abort and must NOT move
+//               start_time_: retry_and_wait calls it before parking.
+//   undo_on_rollback -- write-through backends (eager, HTM) must replay
+//               the undo log on rollback; redo-log backends publish
+//               nothing speculatively.
+#pragma once
+
+#include "tm/descriptor.h"
+
+namespace tmcv::tm::algs {
+
+struct AlgMethods {
+  Backend backend;
+  void (TxDescriptor::*write)(std::atomic<std::uint64_t>*, std::uint64_t);
+  void (TxDescriptor::*commit)();
+  bool (TxDescriptor::*validate)() const noexcept;
+  bool undo_on_rollback;
+};
+
+// Map a requested backend to the one that will actually run, given the
+// process-wide default.  NOrec detects conflicts by value against its own
+// counter and ignores orecs entirely, so NOrec and orec-family transactions
+// must never overlap on shared data.  The rule: while the default is NOrec,
+// EVERY optimistic transaction (including explicit atomically(Backend::X)
+// requests) runs NOrec; while the default is an orec backend, an explicit
+// NOrec request is coerced to LazySTM (same redo-log write semantics).
+// begin_top applies this after publishing activity, which makes it
+// race-free across quiesced backend switches.
+[[nodiscard]] Backend resolve_backend(Backend req) noexcept;
+
+}  // namespace tmcv::tm::algs

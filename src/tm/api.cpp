@@ -1,6 +1,7 @@
 #include "tm/api.h"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "sync/futex.h"
 
@@ -9,6 +10,23 @@ namespace tmcv::tm {
 namespace {
 
 std::atomic<Backend> g_default_backend{Backend::EagerSTM};
+
+// TMCV_DEFAULT_BACKEND=eager|lazy|htm|hybrid|norec seeds the process-wide
+// default before main() (the CI matrix uses norec to run the whole test
+// suite value-validated).  Fixed backends only: "auto" needs the controller
+// thread, which must not start from a static initializer.  Unknown values
+// are ignored -- a typo'd env var must not change TM semantics silently
+// mid-fleet, and the benches print the effective backend anyway.
+struct EnvBackendInit {
+  EnvBackendInit() {
+    const char* v = std::getenv("TMCV_DEFAULT_BACKEND");
+    if (v == nullptr || *v == '\0') return;
+    Backend b{};
+    if (backend_from_label(v, b))
+      g_default_backend.store(b, std::memory_order_release);
+  }
+};
+EnvBackendInit g_env_backend_init;
 
 }  // namespace
 

@@ -30,6 +30,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "tm/algs/policy.h"
 #include "tm/descriptor.h"
 
 namespace tmcv::tm {
@@ -129,6 +130,12 @@ void retry_sleep(std::uint32_t observed) noexcept;
 template <typename F>
 void run_optimistic(Backend backend, F&& fn) {
   TxDescriptor& d = descriptor();
+  // Pre-resolve against the process default so the Hybrid hardware-attempt
+  // policy below sees the effective backend: under a NOrec default every
+  // request (including Hybrid) coerces to NOrec and the HW budget loop is
+  // skipped.  A stale read here is harmless -- begin_top re-resolves
+  // authoritatively after publishing activity, which is the race-free point.
+  backend = algs::resolve_backend(backend);
   if (backend == Backend::Hybrid && !d.in_txn()) {
     // Hybrid policy: a few hardware attempts (sized by the global
     // fallback-pressure hysteresis, so a fallback storm shrinks everyone's

@@ -22,7 +22,7 @@ class VersionClock {
 
   // Current time; used as a transaction's start timestamp.
   [[nodiscard]] std::uint64_t now() const noexcept {
-    return time_.load(std::memory_order_acquire);
+    return time_->load(std::memory_order_acquire);
   }
 
   // Produce a commit timestamp, TL2-GV4 style ("pass on failure"): one CAS
@@ -36,16 +36,16 @@ class VersionClock {
   // means nobody else committed" validation skip is only sound for a tick
   // this committer won itself.
   Tick tick() noexcept {
-    std::uint64_t cur = time_.load(std::memory_order_relaxed);
-    if (time_.compare_exchange_strong(cur, cur + 1,
-                                      std::memory_order_acq_rel,
-                                      std::memory_order_acquire))
+    std::uint64_t cur = time_->load(std::memory_order_relaxed);
+    if (time_->compare_exchange_strong(cur, cur + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
       return {cur + 1, false};
     return {cur, true};  // cur was reloaded by the failed CAS
   }
 
  private:
-  alignas(kCacheLine) std::atomic<std::uint64_t> time_{0};
+  CacheAligned<std::atomic<std::uint64_t>> time_;
 };
 
 // The process-wide clock instance.

@@ -1,12 +1,14 @@
 #include "tm/descriptor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "obs/attribution.h"
 #include "obs/hooks.h"
 #include "sync/futex.h"
 #include "sync/semaphore.h"
+#include "tm/algs/policy.h"
 #include "tm/registry.h"
 #include "tm/serial.h"
 #include "util/backoff.h"
@@ -39,11 +41,51 @@ const char* to_string(Backend b) noexcept {
       return "HTM";
     case Backend::Hybrid:
       return "Hybrid";
+    case Backend::NOrec:
+      return "NOrec";
   }
   return "?";
 }
 
+// The stats matrix axes must track the enums they label.
+static_assert(kBackendCount == kStatsBackends);
+static_assert(static_cast<std::size_t>(TxAbort::Reason::RetryWait) + 1 ==
+              kStatsAbortReasons);
+
+const char* backend_label(Backend b) noexcept {
+  switch (b) {
+    case Backend::EagerSTM:
+      return "eager";
+    case Backend::LazySTM:
+      return "lazy";
+    case Backend::HTM:
+      return "htm";
+    case Backend::Hybrid:
+      return "hybrid";
+    case Backend::NOrec:
+      return "norec";
+  }
+  return "?";
+}
+
+bool backend_from_label(const char* s, Backend& out) noexcept {
+  if (std::strcmp(s, "eager") == 0)
+    out = Backend::EagerSTM;
+  else if (std::strcmp(s, "lazy") == 0)
+    out = Backend::LazySTM;
+  else if (std::strcmp(s, "htm") == 0)
+    out = Backend::HTM;
+  else if (std::strcmp(s, "hybrid") == 0)
+    out = Backend::Hybrid;
+  else if (std::strcmp(s, "norec") == 0)
+    out = Backend::NOrec;
+  else
+    return false;
+  return true;
+}
+
 TxDescriptor::TxDescriptor() : slot_(0) {
+  alg_ = &alg_methods(Backend::EagerSTM);
   rs_storage_ = std::make_unique<ReadEntry[]>(kInitialLogCapacity);
   rs_base_ = rs_end_ = rs_storage_.get();
   rs_cap_ = rs_base_ + (kInitialLogCapacity - 1);  // one slack slot
@@ -125,26 +167,25 @@ TxDescriptor& descriptor_slow() noexcept {
 namespace {
 
 std::atomic<std::uint64_t> g_gc_epoch{1};
-alignas(kCacheLine) std::atomic<std::uint32_t> g_commit_signal{0};
-alignas(kCacheLine) std::atomic<std::uint32_t> g_retry_waiters{0};
-
-// Announce a writing commit to any retry-parked transactions.
-void bump_commit_signal() noexcept {
-  g_commit_signal.fetch_add(1, std::memory_order_seq_cst);
-  if (g_retry_waiters.load(std::memory_order_seq_cst) > 0)
-    futex_wake(&g_commit_signal, -1);
-}
+CacheAligned<std::atomic<std::uint32_t>> g_commit_signal;
+CacheAligned<std::atomic<std::uint32_t>> g_retry_waiters;
 
 }  // namespace
+
+void bump_commit_signal() noexcept {
+  g_commit_signal->fetch_add(1, std::memory_order_seq_cst);
+  if (g_retry_waiters->load(std::memory_order_seq_cst) > 0)
+    futex_wake(&*g_commit_signal, -1);
+}
 
 std::atomic<std::uint64_t>& gc_epoch_word() noexcept { return g_gc_epoch; }
 
 std::atomic<std::uint32_t>& commit_signal_word() noexcept {
-  return g_commit_signal;
+  return *g_commit_signal;
 }
 
 std::atomic<std::uint32_t>& retry_waiter_count() noexcept {
-  return g_retry_waiters;
+  return *g_retry_waiters;
 }
 
 void TxDescriptor::announce_epoch() noexcept {
@@ -178,11 +219,22 @@ void TxDescriptor::begin_top(Backend b, std::uint32_t depth) {
     activity_end();
     g_serial.wait_until_free();
   }
+  // Resolve the requested backend against the process default HERE, after
+  // activity_begin: a quiesced backend switch (algs::set_backend) drains
+  // every in-flight optimistic transaction through the serial lock, so a
+  // transaction that begins after the drain is guaranteed to observe the
+  // new default -- no orec-family transaction can overlap a NOrec one.
+  b = algs::resolve_backend(b);
+  TMCV_DEBUG_ASSERT(b != Backend::Hybrid);
   state_ = TxState::Optimistic;
   backend_ = b;
+  alg_ = &alg_methods(b);
   depth_ = depth;
   split_done_ = false;
-  start_time_ = g_clock.now();
+  // NOrec snapshots the global commit counter (even value); the orec family
+  // snapshots the version clock.
+  start_time_ = b == Backend::NOrec ? algs::norec_begin_snapshot()
+                                    : g_clock.now();
   new_log_epoch();
 #if TMCV_TRACE
   txn_begin_ticks_ = obs::region_begin();
@@ -214,20 +266,10 @@ void TxDescriptor::commit_top() {
     commit_serial();
     return;
   }
-  switch (backend_) {
-    case Backend::EagerSTM:
-    case Backend::HTM:
-      commit_eager();
-      break;
-    case Backend::LazySTM:
-      commit_lazy();
-      break;
-    case Backend::Hybrid:
-      // Hybrid is resolved to a concrete backend by the retry loop before
-      // begin_top; a descriptor can never be committing in Hybrid state.
-      TMCV_ASSERT_MSG(false, "Hybrid backend reached the descriptor");
-      break;
-  }
+  // Hybrid is resolved to a concrete backend by the retry loop before
+  // begin_top; a descriptor can never be committing in Hybrid state.
+  TMCV_DEBUG_ASSERT(alg_ != nullptr && backend_ != Backend::Hybrid);
+  (this->*(alg_->commit))();
   state_ = TxState::Idle;
   depth_ = 0;
   activity_end();
@@ -262,6 +304,8 @@ void TxDescriptor::abort_restart(TxAbort::Reason reason) {
     case TxAbort::Reason::RetryWait:
       break;  // counted in retry_and_wait
   }
+  ++stats_.aborts_by_backend[static_cast<std::size_t>(backend_)]
+                            [static_cast<std::size_t>(reason)];
   cm_.note_abort(reason);
 #if TMCV_TRACE
   // Attribution reason codes mirror TxAbort::Reason numerically.
@@ -315,7 +359,7 @@ void TxDescriptor::retry_and_wait() {
   // the predicate decision lands after our snapshot and therefore bumps a
   // value we have already captured -- the sleep then returns immediately.
   const std::uint32_t observed =
-      g_commit_signal.load(std::memory_order_seq_cst);
+      g_commit_signal->load(std::memory_order_seq_cst);
   if (!reads_valid()) abort_restart(TxAbort::Reason::Conflict);
   rollback();
   run_abort_handlers();
@@ -324,6 +368,8 @@ void TxDescriptor::retry_and_wait() {
   activity_end();
   ++stats_.aborts;
   ++stats_.aborts_retry_wait;
+  ++stats_.aborts_by_backend[static_cast<std::size_t>(backend_)][static_cast<
+      std::size_t>(TxAbort::Reason::RetryWait)];
 #if TMCV_TRACE
   obs::attr_record_abort(txn_site(), obs::kAttrReasonRetryWait);
   obs::region_end(obs::Event::kTxnAbort, txn_begin_ticks_,
@@ -414,9 +460,10 @@ std::uint64_t TxDescriptor::read_word_slow(
   }
   // Unreachable from the inline read_word (which handles Optimistic), but
   // kept complete so the function is safe to call in any state.
-  if (backend_ == Backend::LazySTM) {
+  if (backend_ == Backend::LazySTM || backend_ == Backend::NOrec) {
     if (const RedoEntry* e = find_redo(addr)) return e->value;
   }
+  if (backend_ == Backend::NOrec) return read_norec_slow(addr);
   return read_optimistic(addr);
 }
 
@@ -493,172 +540,21 @@ void TxDescriptor::write_word(std::atomic<std::uint64_t>* addr,
       break;
   }
   ++stats_.writes;
-  if (backend_ == Backend::LazySTM)
-    write_lazy(addr, value);
-  else
-    write_eager(addr, value);
+  (this->*(alg_->write))(addr, value);
 }
 
-void TxDescriptor::write_eager(std::atomic<std::uint64_t>* addr,
-                               std::uint64_t value) {
-  maybe_chaos_abort();
-  Orec& o = orec_for(addr);
-  for (;;) {
-    OrecWord cur = o.load(std::memory_order_acquire);
-    if (orec_locked_by_me(cur)) break;  // stripe already owned
-    if (orec_is_locked(cur)) {
-      note_conflict_orec(o, cur);
-      abort_restart(TxAbort::Reason::Conflict);
-    }
-    if (orec_version(cur) > start_time_) {
-      if (backend_ == Backend::HTM) {
-        note_conflict_orec(o, cur);  // extend() captures its own culprit
-        abort_restart(TxAbort::Reason::Conflict);
-      }
-      if (!extend()) abort_restart(TxAbort::Reason::Conflict);
-      continue;
-    }
-    if (backend_ == Backend::HTM && lock_set_.size() >= kHtmWriteCapacity)
-      abort_restart(TxAbort::Reason::Capacity);
-    if (o.compare_exchange_strong(cur, make_locked(slot_),
-                                  std::memory_order_acq_rel,
-                                  std::memory_order_acquire)) {
-      note_lock(&o, cur);
-      break;
-    }
-    // CAS lost a race; re-examine the new word.
-  }
-  undo_log_.push_back(UndoEntry{addr, addr->load(std::memory_order_relaxed)});
-  addr->store(value, std::memory_order_release);
-}
-
-void TxDescriptor::write_lazy(std::atomic<std::uint64_t>* addr,
-                              std::uint64_t value) {
-  // Append-only redo log: a repeated write appends a second entry instead of
-  // seeking and updating the first, so the store fast path is a plain
-  // push_back.  Lookups still resolve to the newest write -- find_redo scans
-  // newest-first and the index upsert repoints at the latest entry -- and
-  // commit write-back replays the log in program order, so the last write
-  // wins there too.  Duplicate entries cost one extra write-back store and
-  // an own-lock check at acquisition, both far cheaper than a per-store
-  // lookup.
-  const auto idx = static_cast<std::uint32_t>(redo_log_.size());
-  redo_log_.push_back(RedoEntry{addr, value});
-  if (redo_indexed_) {
-    if (redo_index_.upsert(addr, idx)) ++stats_.log_index_rehashes;
-  } else if (redo_log_.size() > kRedoIndexThreshold) {
-    build_redo_index();
-  }
-}
-
-void TxDescriptor::build_redo_index() {
-  // The write set outgrew the linear scan; index every live entry once and
-  // switch find_redo to O(1) for the rest of the transaction.  (The index
-  // was reset for this log epoch at begin, so plain inserts suffice.)
-  for (std::uint32_t i = 0; i < redo_log_.size(); ++i)
-    if (redo_index_.upsert(redo_log_[i].addr, i)) ++stats_.log_index_rehashes;
-  redo_indexed_ = true;
-}
+// The write barriers and commit protocols live in tm/algs/ (orec_eager.cpp,
+// orec_lazy.cpp, norec.cpp), reached through the per-backend method table.
 
 // ---------------------------------------------------------------------------
 // Commit / abort
 // ---------------------------------------------------------------------------
 
-void TxDescriptor::commit_eager() {
-  if (lock_set_.empty()) {
-    // Read-only: the per-read validation already proved consistency at
-    // start_time_; nothing to publish.
-    ++stats_.ro_commits;
-    reset_logs();
-    return;
-  }
-  const VersionClock::Tick t = g_clock.tick();
-  stats_.clock_cas_reuses += t.reused;
-  // If we won the tick and nobody committed since our snapshot, reads are
-  // trivially valid; a reused tick means someone DID commit concurrently,
-  // so the skip is never sound then (see VersionClock::tick).
-  if ((t.reused || t.time != start_time_ + 1) && !reads_valid())
-    abort_restart(TxAbort::Reason::Conflict);
-  for (const LockEntry& e : lock_set_)
-    e.orec->store(make_version(t.time), std::memory_order_release);
-  reset_logs();
-  bump_commit_signal();
-}
-
-void TxDescriptor::commit_lazy() {
-  if (redo_log_.empty()) {
-    ++stats_.ro_commits;
-    reset_logs();
-    return;
-  }
-  // Acquire every written stripe, one lock per orec.  Duplicate stripes need
-  // no side table: the orec word itself records ownership, and the
-  // acquisition protocol starts with the load that reveals it -- a stripe we
-  // already hold is skipped by the locked_by_me check below for free (the
-  // old per-entry lock-index maintenance disappears entirely).
-  //
-  // Small write sets (the overwhelmingly common case) acquire in encounter
-  // order: the whole commit window is a handful of stores, so the polite
-  // wait below comfortably outlives any cycle partner and the bounded wait
-  // turns ordering hazards into (at worst) one abort.  Large write sets are
-  // first deduped and sorted into a global acquisition order, so long
-  // commit windows chase each other's locks in one direction and cannot
-  // form cyclic polite waits.
-  const bool sorted_acquire = redo_log_.size() > kSortedAcquireThreshold;
-  if (sorted_acquire) {
-    acquire_scratch_.clear();
-    for (const RedoEntry& w : redo_log_)
-      acquire_scratch_.push_back(&orec_for(w.addr));
-    std::sort(acquire_scratch_.begin(), acquire_scratch_.end());
-    acquire_scratch_.erase(
-        std::unique(acquire_scratch_.begin(), acquire_scratch_.end()),
-        acquire_scratch_.end());
-  }
-  const std::size_t n_stripes =
-      sorted_acquire ? acquire_scratch_.size() : redo_log_.size();
-  for (std::size_t i = 0; i < n_stripes; ++i) {
-    Orec* o = sorted_acquire ? acquire_scratch_[i] : &orec_for(redo_log_[i].addr);
-    for (;;) {
-      OrecWord cur = o->load(std::memory_order_acquire);
-      if (orec_is_locked(cur)) {
-        if (orec_locked_by_me(cur)) break;  // duplicate stripe: already ours
-        // Polite acquisition: commit-time lock holds are short (write-back
-        // plus release), so a bounded wait usually outlives the holder and
-        // turns what was an instant abort into a brief pause.
-        cur = wait_for_orec_unlock(*o);
-        if (orec_is_locked(cur)) {
-          note_conflict_orec(*o, cur);
-          abort_restart(TxAbort::Reason::Conflict);
-        }
-        continue;  // re-run the protocol against the fresh word
-      }
-      if (orec_version(cur) > start_time_) {
-        if (!extend()) abort_restart(TxAbort::Reason::Conflict);
-        continue;
-      }
-      if (o->compare_exchange_strong(cur, make_locked(slot_),
-                                     std::memory_order_acq_rel,
-                                     std::memory_order_acquire)) {
-        note_lock(o, cur);
-        break;
-      }
-    }
-  }
-  const VersionClock::Tick t = g_clock.tick();
-  stats_.clock_cas_reuses += t.reused;
-  if ((t.reused || t.time != start_time_ + 1) && !reads_valid())
-    abort_restart(TxAbort::Reason::Conflict);
-  for (const RedoEntry& w : redo_log_)
-    w.addr->store(w.value, std::memory_order_release);
-  for (const LockEntry& e : lock_set_)
-    e.orec->store(make_version(t.time), std::memory_order_release);
-  reset_logs();
-  bump_commit_signal();
-}
-
 void TxDescriptor::rollback() noexcept {
-  if (backend_ != Backend::LazySTM) {
-    // Undo in reverse so overlapping writes restore the oldest value last.
+  if (alg_->undo_on_rollback) {
+    // Write-through backends: undo in reverse so overlapping writes restore
+    // the oldest value last.  Redo-log backends (lazy, NOrec) published
+    // nothing, so there is nothing to undo.
     for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it)
       it->addr->store(it->old_value, std::memory_order_release);
   }
@@ -674,13 +570,17 @@ void TxDescriptor::rollback() noexcept {
 
 bool TxDescriptor::extend() {
   const std::uint64_t now = g_clock.now();
-  if (!reads_valid()) return false;
+  if (!reads_valid_orec()) return false;
   start_time_ = now;
   ++stats_.extensions;
   return true;
 }
 
 bool TxDescriptor::reads_valid() const noexcept {
+  return (this->*(alg_->validate))();
+}
+
+bool TxDescriptor::reads_valid_orec() const noexcept {
   for (const ReadEntry* e = rs_base_; e != rs_end_; ++e) {
     const OrecWord cur = e->orec->load(std::memory_order_acquire);
     if (cur == e->seen) continue;
@@ -884,6 +784,7 @@ void TxDescriptor::reset_logs() noexcept {
   lock_set_.clear();
   undo_log_.clear();
   redo_log_.clear();
+  norec_reads_.clear();
 }
 
 }  // namespace tmcv::tm

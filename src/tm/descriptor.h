@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "tm/algs/norec.h"
 #include "tm/clock.h"
 #include "tm/cm.h"
 #include "tm/orec.h"
@@ -46,9 +47,29 @@ enum class Backend : std::uint8_t {
   // attempts, then software transactions, then the serial lock.  Resolved
   // by the retry loop; the descriptor itself never runs in Hybrid state.
   Hybrid,
+  // NOrec (Dalessandro/Spear/Scott): no ownership records at all.  Reads
+  // are validated by value against a single global commit counter; writes
+  // buffer in the redo log and write back while holding the counter.
+  // Appended after Hybrid so the numeric values of the orec backends (and
+  // every committed bench JSON that names them) stay stable.
+  NOrec,
 };
 
+// Number of Backend enum values (sized for the per-backend stats matrix).
+inline constexpr std::size_t kBackendCount = 5;
+
 [[nodiscard]] const char* to_string(Backend b) noexcept;
+
+// Lowercase flag/metrics label ("eager", "lazy", "htm", "hybrid", "norec").
+[[nodiscard]] const char* backend_label(Backend b) noexcept;
+
+// Parse a lowercase label back to a Backend; false on unknown input.
+// ("auto" is not a Backend -- callers handle it before parsing.)
+[[nodiscard]] bool backend_from_label(const char* s, Backend& out) noexcept;
+
+namespace algs {
+struct AlgMethods;  // per-backend method table (tm/algs/policy.h)
+}  // namespace algs
 
 // TxAbort (the abort token) lives in tm/cm.h alongside the attempt budgets
 // and the contention-management policy.
@@ -235,6 +256,11 @@ class TxDescriptor {
   static void set_htm_chaos_per_million(std::uint32_t rate) noexcept;
   [[nodiscard]] static std::uint32_t htm_chaos_per_million() noexcept;
 
+  // The per-backend method table (tm/algs/policy.h).  A static member so
+  // the table builder in algs/policy.cpp can form pointers to the private
+  // backend methods below without a friend zoo.
+  [[nodiscard]] static const algs::AlgMethods& alg_methods(Backend b) noexcept;
+
  private:
   struct ReadEntry {
     const Orec* orec;
@@ -250,6 +276,13 @@ class TxDescriptor {
   };
   struct RedoEntry {
     std::atomic<std::uint64_t>* addr;
+    std::uint64_t value;
+  };
+  // NOrec read log: value-based, not version-based.  Revalidation re-reads
+  // every address and compares values, so a stripe-aliasing dedup filter
+  // does not apply (two addresses in one stripe hold different values).
+  struct NorecReadEntry {
+    const std::atomic<std::uint64_t>* addr;
     std::uint64_t value;
   };
 
@@ -390,19 +423,37 @@ class TxDescriptor {
     std::uint64_t epoch_ = 0;
   };
 
-  // Backend-specific paths.
+  // Backend-specific paths.  The write/commit/validate members are reached
+  // through the per-backend method table (alg_, set by begin_top); the
+  // bodies live in tm/algs/{orec_eager,orec_lazy,norec}.cpp.
   [[nodiscard]] std::uint64_t read_optimistic(
       const std::atomic<std::uint64_t>* addr);
   void write_eager(std::atomic<std::uint64_t>* addr, std::uint64_t value);
   void write_lazy(std::atomic<std::uint64_t>* addr, std::uint64_t value);
   void commit_eager();
   void commit_lazy();
+  void commit_norec();
   void rollback() noexcept;
+
+  // NOrec slow read: the counter moved since the last snapshot, so
+  // revalidate the value log and retry the read at the new snapshot.
+  [[nodiscard]] std::uint64_t read_norec_slow(
+      const std::atomic<std::uint64_t>* addr);
+
+  // NOrec revalidation: waits out any in-flight write-back, re-reads the
+  // value log, and returns the new (even) snapshot -- or aborts on a value
+  // mismatch.  Advances start_time_ to the returned snapshot.
+  std::uint64_t norec_validate();
 
   // Try to advance start_time_ to the current clock after validating the
   // read set; returns false on conflict.
   [[nodiscard]] bool extend();
+
+  // Generic snapshot validity (dispatches through alg_): the orec loop for
+  // the eager/lazy/HTM family, a non-aborting value recheck for NOrec.
   [[nodiscard]] bool reads_valid() const noexcept;
+  [[nodiscard]] bool reads_valid_orec() const noexcept;
+  [[nodiscard]] bool reads_valid_norec() const noexcept;
 
   // Roll an injected asynchronous abort for HTM accesses (no-op when the
   // chaos rate is 0 or the backend is not HTM).
@@ -444,6 +495,9 @@ class TxDescriptor {
   std::uint64_t slot_;
   TxState state_ = TxState::Idle;
   Backend backend_ = Backend::EagerSTM;
+  // Method table for backend_; set alongside it by begin_top.  Null only
+  // before the first top-level transaction (no dispatch happens then).
+  const algs::AlgMethods* alg_ = nullptr;
   std::uint32_t depth_ = 0;
   std::uint32_t saved_depth_ = 0;
   bool split_done_ = false;
@@ -460,6 +514,7 @@ class TxDescriptor {
   std::vector<LockEntry> lock_set_;
   std::vector<UndoEntry> undo_log_;
   std::vector<RedoEntry> redo_log_;
+  std::vector<NorecReadEntry> norec_reads_;
   // Commit-time acquisition scratch: the write set's orecs, deduped and
   // sorted into a global acquisition order (reused across transactions).
   std::vector<Orec*> acquire_scratch_;
@@ -571,6 +626,21 @@ inline std::uint64_t TxDescriptor::read_word(
     // HTM models chaos aborts and a footprint cap on every read: keep the
     // whole protocol out-of-line.
     if (backend_ == Backend::HTM) return read_optimistic(addr);
+    if (backend_ == Backend::NOrec) {
+      // NOrec: read-after-write from the redo log, otherwise a plain value
+      // load that is consistent iff the global counter still matches the
+      // snapshot -- no orec probe, no recheck, no stripe hashing.
+      if (!redo_log_.empty())
+        if (const RedoEntry* e = find_redo(addr)) return e->value;
+      const std::uint64_t value = addr->load(std::memory_order_acquire);
+      if (algs::norec_clock().load(std::memory_order_acquire) ==
+          start_time_) [[likely]] {
+        ++stats_.reads;
+        norec_reads_.push_back({addr, value});
+        return value;
+      }
+      return read_norec_slow(addr);
+    }
     // LazySTM: reads-after-writes come from the redo log.
     if (const RedoEntry* e = find_redo(addr)) return e->value;
   }
@@ -603,6 +673,11 @@ std::atomic<std::uint64_t>& gc_epoch_word() noexcept;
 // syscall when nobody waits.
 std::atomic<std::uint32_t>& commit_signal_word() noexcept;
 std::atomic<std::uint32_t>& retry_waiter_count() noexcept;
+
+// Announce a writing commit to any retry-parked transactions (bump the
+// signal, wake sleepers).  Called by every publishing commit path,
+// including the backend bodies in tm/algs/.
+void bump_commit_signal() noexcept;
 
 // The calling thread's descriptor (created and registered on first use).
 // The common case inlines to one thread-local pointer load: attach/detach

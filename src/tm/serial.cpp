@@ -10,10 +10,10 @@ void SerialLock::acquire(std::uint64_t self_slot) noexcept {
   // Phase 1: win the lock (even -> odd).
   Backoff backoff;
   for (;;) {
-    std::uint64_t seq = seq_.load(std::memory_order_acquire);
+    std::uint64_t seq = seq_->load(std::memory_order_acquire);
     if ((seq & 1ull) == 0 &&
-        seq_.compare_exchange_weak(seq, seq + 1, std::memory_order_seq_cst,
-                                   std::memory_order_relaxed))
+        seq_->compare_exchange_weak(seq, seq + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
       break;
     backoff.wait();
   }
@@ -35,12 +35,12 @@ void SerialLock::acquire(std::uint64_t self_slot) noexcept {
 }
 
 void SerialLock::release() noexcept {
-  seq_.fetch_add(1, std::memory_order_seq_cst);  // odd -> even
+  seq_->fetch_add(1, std::memory_order_seq_cst);  // odd -> even
 }
 
 void SerialLock::wait_until_free() const noexcept {
   Backoff backoff;
-  while ((seq_.load(std::memory_order_acquire) & 1ull) != 0) backoff.wait();
+  while ((seq_->load(std::memory_order_acquire) & 1ull) != 0) backoff.wait();
 }
 
 }  // namespace tmcv::tm

@@ -32,7 +32,7 @@ class SerialLock {
   void release() noexcept;
 
   [[nodiscard]] bool held() const noexcept {
-    return (seq_.load(std::memory_order_acquire) & 1ull) != 0;
+    return (seq_->load(std::memory_order_acquire) & 1ull) != 0;
   }
 
   // Spin (with yield) until the lock is not held.  Called by optimistic
@@ -40,11 +40,11 @@ class SerialLock {
   void wait_until_free() const noexcept;
 
   [[nodiscard]] std::uint64_t sequence() const noexcept {
-    return seq_.load(std::memory_order_acquire);
+    return seq_->load(std::memory_order_acquire);
   }
 
  private:
-  alignas(kCacheLine) std::atomic<std::uint64_t> seq_{0};
+  CacheAligned<std::atomic<std::uint64_t>> seq_;
 };
 
 SerialLock& serial_lock() noexcept;

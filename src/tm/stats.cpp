@@ -8,15 +8,33 @@
 
 namespace tmcv::tm {
 
+const char* stats_backend_label(std::size_t i) noexcept {
+  static constexpr const char* kLabels[kStatsBackends] = {
+      "eager", "lazy", "htm", "hybrid", "norec"};
+  return i < kStatsBackends ? kLabels[i] : "?";
+}
+
+const char* stats_abort_reason_label(std::size_t i) noexcept {
+  static constexpr const char* kLabels[kStatsAbortReasons] = {
+      "conflict", "capacity", "syscall", "explicit", "retry_wait"};
+  return i < kStatsAbortReasons ? kLabels[i] : "?";
+}
+
 Stats& Stats::operator+=(const Stats& o) noexcept {
   for_each_field(
       [&](const char*, std::uint64_t Stats::*f) { this->*f += o.*f; });
+  for (std::size_t b = 0; b < kStatsBackends; ++b)
+    for (std::size_t r = 0; r < kStatsAbortReasons; ++r)
+      aborts_by_backend[b][r] += o.aborts_by_backend[b][r];
   return *this;
 }
 
 Stats& Stats::operator-=(const Stats& o) noexcept {
   for_each_field(
       [&](const char*, std::uint64_t Stats::*f) { this->*f -= o.*f; });
+  for (std::size_t b = 0; b < kStatsBackends; ++b)
+    for (std::size_t r = 0; r < kStatsAbortReasons; ++r)
+      aborts_by_backend[b][r] -= o.aborts_by_backend[b][r];
   return *this;
 }
 

@@ -5,10 +5,21 @@
 // power the benchmark reports and the dedup-anomaly diagnosis.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace tmcv::tm {
+
+// Dimensions of the per-backend abort matrix below.  Kept as plain
+// constants (not the Backend / TxAbort::Reason enums) so stats.h stays
+// header-light; descriptor.cpp static_asserts they match the enums.
+inline constexpr std::size_t kStatsBackends = 5;      // eager lazy htm hybrid norec
+inline constexpr std::size_t kStatsAbortReasons = 5;  // conflict capacity syscall explicit retry_wait
+
+// Label helpers for the matrix axes (exporters and tools).
+[[nodiscard]] const char* stats_backend_label(std::size_t i) noexcept;
+[[nodiscard]] const char* stats_abort_reason_label(std::size_t i) noexcept;
 
 struct Stats {
   // The first four fields are the read/write fast-path counters: keep them
@@ -53,6 +64,21 @@ struct Stats {
   std::uint64_t deferred_wakes = 0;      // semaphores queued in a wake batch
   std::uint64_t wake_batches = 0;        // wake-batch flushes at commit
 
+  // NOrec backend instrumentation.
+  std::uint64_t norec_commits = 0;       // writing NOrec commits
+  std::uint64_t norec_validations = 0;   // value-revalidation passes
+  std::uint64_t norec_val_failures = 0;  // revalidations that found a change
+
+  // Quiesced backend switches (tm::set_backend), counted on the switching
+  // thread's descriptor.
+  std::uint64_t backend_switches = 0;
+
+  // Per-backend abort-reason matrix: aborts_by_backend[backend][reason],
+  // axes labeled by stats_backend_label / stats_abort_reason_label.  NOT in
+  // for_each_field (that visitor is the scalar single-source-of-truth);
+  // the operators and exporters handle it explicitly.
+  std::uint64_t aborts_by_backend[kStatsBackends][kStatsAbortReasons] = {};
+
   // Read-set dedup hit rate over all logged-or-coalesced reads (0 when no
   // instrumented reads ran).
   [[nodiscard]] double dedup_hit_rate() const noexcept {
@@ -94,6 +120,10 @@ struct Stats {
     fn("handlers_inline", &Stats::handlers_inline);
     fn("deferred_wakes", &Stats::deferred_wakes);
     fn("wake_batches", &Stats::wake_batches);
+    fn("norec_commits", &Stats::norec_commits);
+    fn("norec_validations", &Stats::norec_validations);
+    fn("norec_val_failures", &Stats::norec_val_failures);
+    fn("backend_switches", &Stats::backend_switches);
   }
 
   Stats& operator+=(const Stats& o) noexcept;

@@ -5,6 +5,7 @@
 #include <pthread.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 
 #include "core/c_api.h"
@@ -110,6 +111,22 @@ TEST(CApi, TimedWaitSucceedsWhenSignaled) {
   waiter.join();
   EXPECT_EQ(rc.load(), 0);
   tmcv_cond_destroy(cond);
+}
+
+TEST(CApi, BackendSelection) {
+  // Initial default depends on TMCV_DEFAULT_BACKEND (the CI matrix runs a
+  // norec leg), so capture-and-restore instead of asserting it.
+  const std::string initial = tmcv_tm_get_backend();
+  EXPECT_EQ(tmcv_tm_set_backend("norec"), 0);
+  EXPECT_STREQ(tmcv_tm_get_backend(), "norec");
+  EXPECT_EQ(tmcv_tm_set_backend("bogus"), -1);
+  EXPECT_EQ(tmcv_tm_set_backend(nullptr), -1);
+  EXPECT_STREQ(tmcv_tm_get_backend(), "norec");  // bad input changes nothing
+  tmcv_tm_set_backend_auto(1);
+  tmcv_tm_set_backend_auto(0);
+  EXPECT_EQ(tmcv_tm_set_backend("eager"), 0);
+  EXPECT_STREQ(tmcv_tm_get_backend(), "eager");
+  EXPECT_EQ(tmcv_tm_set_backend(initial.c_str()), 0);
 }
 
 }  // namespace

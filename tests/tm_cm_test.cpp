@@ -4,6 +4,8 @@
 // attempt-budget hysteresis.
 #include <gtest/gtest.h>
 
+#include "backend_fixture.h"  // orec/HTM-specific: pin the eager default
+
 #include <atomic>
 #include <cstdint>
 #include <set>

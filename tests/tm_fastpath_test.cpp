@@ -5,6 +5,8 @@
 // handlers).
 #include <gtest/gtest.h>
 
+#include "backend_fixture.h"  // orec/HTM-specific: pin the eager default
+
 #include <atomic>
 #include <cstdint>
 #include <memory>

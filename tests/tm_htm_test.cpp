@@ -2,6 +2,8 @@
 // fallback path (the "Haswell" behaviours the condvar design works around).
 #include <gtest/gtest.h>
 
+#include "backend_fixture.h"  // orec/HTM-specific: pin the eager default
+
 #include <thread>
 
 #include "tm/api.h"

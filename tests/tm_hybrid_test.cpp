@@ -1,6 +1,8 @@
 // Hybrid backend (HTM -> STM -> serial) and HTM chaos injection.
 #include <gtest/gtest.h>
 
+#include "backend_fixture.h"  // orec/HTM-specific: pin the eager default
+
 #include <memory>
 #include <thread>
 #include <vector>

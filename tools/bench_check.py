@@ -19,6 +19,11 @@ than scattered across workflow YAML:
     numeric scalar key in the reference must still exist in the fresh run
     (a silently vanished counter usually means a stats-plumbing regression).
     Missing keys are errors; *new* keys in the fresh run are fine.
+  * backend: when both files carry a `backend` header the labels must match
+    -- comparing a NOrec run against an eager reference (or vice versa)
+    would gate one algorithm's throughput against another's and pass or
+    fail for the wrong reason.  Regenerate the reference with the same
+    `--backend` instead.
 
     tools/bench_check.py BENCH_micro_tm.json micro_tm_ci.json
     tools/bench_check.py ref.json fresh.json --min-throughput-ratio 0.5
@@ -55,6 +60,20 @@ def compare(ref, fresh, min_throughput_ratio=0.20, max_abort_delta=0.05):
                         % (ref_name, fresh_name))
         return failures, lines
     lines.append("benchmark: %s" % ref_name)
+
+    ref_backend = ref.get("backend")
+    fresh_backend = fresh.get("backend")
+    if ref_backend is not None and ref_backend != fresh_backend:
+        # Cross-backend numbers are not comparable: NOrec vs eager throughput
+        # differences are algorithmic, not regressions.  A fresh file that
+        # *dropped* the backend header is treated the same way -- otherwise
+        # the gate could be dodged by omitting the label.
+        failures.append("backend mismatch: ref=%r fresh=%r "
+                        "(refusing cross-backend comparison)"
+                        % (ref_backend, fresh_backend))
+        return failures, lines
+    if ref_backend is not None:
+        lines.append("backend: %s" % ref_backend)
 
     missing = sorted(numeric_scalar_keys(ref) - numeric_scalar_keys(fresh))
     if missing:
@@ -94,7 +113,8 @@ def compare(ref, fresh, min_throughput_ratio=0.20, max_abort_delta=0.05):
 # ---------------------------------------------------------------------------
 # --self-test fixtures.
 
-_REF = {"benchmark": "micro_tm_read_heavy", "threads": 8,
+_REF = {"benchmark": "micro_tm_read_heavy", "backend": "EagerSTM",
+        "threads": 8,
         "ops_per_sec": 2000000, "abort_commit_ratio": 0.001,
         "commits": 1600000, "aborts": 1600}
 
@@ -119,6 +139,21 @@ def self_test():
 
     fails, _ = compare(_REF, dict(_REF, benchmark="other"))
     check("benchmark mismatch fails", any("mismatch" in f for f in fails))
+
+    fails, _ = compare(_REF, dict(_REF, backend="NOrec"))
+    check("cross-backend comparison refused",
+          any("backend mismatch" in f for f in fails))
+
+    dropped = dict(_REF)
+    del dropped["backend"]
+    fails, _ = compare(_REF, dropped)
+    check("fresh run that dropped backend header refused",
+          any("backend mismatch" in f for f in fails))
+
+    legacy_ref = dict(_REF)
+    del legacy_ref["backend"]
+    fails, _ = compare(legacy_ref, dict(_REF, ops_per_sec=1500000))
+    check("legacy ref without backend still compares", not fails)
 
     lost = dict(_REF)
     del lost["commits"]

@@ -92,14 +92,35 @@ def series(history, key):
     return [s.get(key, 0) for s in history.get("samples", [])]
 
 
+def backend_abort_rows(metrics):
+    """Flatten tm.aborts_by_backend into [(backend, total, breakdown)] rows,
+    non-zero only, sorted by total descending.  breakdown is a 'reason=N'
+    string for the non-zero reasons."""
+    table = (metrics or {}).get("tm", {}).get("aborts_by_backend", {})
+    rows = []
+    for backend, reasons in table.items():
+        if not isinstance(reasons, dict):
+            continue
+        nz = [(r, int(n)) for r, n in reasons.items() if n]
+        if not nz:
+            continue
+        nz.sort(key=lambda kv: -kv[1])
+        total = sum(n for _, n in nz)
+        rows.append((backend, total,
+                     " ".join("%s=%s" % (r, fmt_si(n)) for r, n in nz)))
+    rows.sort(key=lambda row: -row[1])
+    return rows
+
+
 def build_frame(metrics, history, alerts, width=80):
     """The whole dashboard as a list of lines -- pure, so testable."""
     lines = []
     spark_w = max(16, width - 34)
 
     meta = (metrics or {}).get("meta", {})
-    title = "tmcv-top  v%s  trace=%s  htm=%s  up %.0fs" % (
-        meta.get("version", "?"),
+    backend = (metrics or {}).get("tm", {}).get("backend", "?")
+    title = "tmcv-top  v%s  backend=%s  trace=%s  htm=%s  up %.0fs" % (
+        meta.get("version", "?"), backend,
         "on" if meta.get("trace_compiled") else "off",
         meta.get("htm", "?"), float(meta.get("uptime_seconds", 0)))
     lines.append(title[:width])
@@ -148,6 +169,12 @@ def build_frame(metrics, history, alerts, width=80):
         lines.append("alerts: none firing (%d rules watched)" % len(rules))
     else:
         lines.append("alerts: watchdog not running")
+    rows = backend_abort_rows(metrics)
+    if rows:
+        lines.append("aborts by backend:")
+        for b, total, breakdown in rows:
+            lines.append(("  %-8s %8s  %s"
+                          % (b, fmt_si(total), breakdown))[:width])
     lines.append("")
 
     pairs = (metrics or {}).get("attribution", {}).get("conflict_pairs", [])
@@ -212,7 +239,16 @@ def run_curses(base, interval):
 _FIX_METRICS = {
     "meta": {"version": "1.0.0", "trace_compiled": True, "htm": "emulated",
              "uptime_seconds": 12.5},
-    "tm": {"commits": 1000, "aborts": 200, "aborts_conflict": 180},
+    "tm": {"backend": "norec", "commits": 1000, "aborts": 200,
+           "aborts_conflict": 180,
+           "aborts_by_backend": {
+               "eager": {"conflict": 0, "capacity": 0, "syscall": 0,
+                         "explicit": 0, "retry_wait": 0},
+               "norec": {"conflict": 170, "capacity": 0, "syscall": 0,
+                         "explicit": 0, "retry_wait": 30},
+               "lazy": {"conflict": 0, "capacity": 0, "syscall": 0,
+                        "explicit": 0, "retry_wait": 0},
+           }},
     "attribution": {"conflict_pairs": [
         {"victim": "kv_set", "attacker": "kv_set", "reason": "conflict",
          "count": 150},
@@ -287,6 +323,18 @@ def self_test():
     check("frame shows top pair", "kv_set" in frame and "kv_get" in frame)
     check("frame has sparkline glyphs",
           any(c in frame for c in SPARK_CHARS))
+
+    check("frame shows active backend", "backend=norec" in frame)
+    check("frame shows per-backend aborts",
+          "aborts by backend:" in frame and "conflict=170" in frame
+          and "retry_wait=30" in frame)
+    check("frame hides zero-abort backends",
+          "\n  eager" not in frame and "\n  lazy" not in frame)
+    rows = backend_abort_rows(_FIX_METRICS)
+    check("backend rows non-zero only, totalled",
+          rows == [("norec", 200, "conflict=170 retry_wait=30")])
+    check("backend rows tolerate missing table",
+          backend_abort_rows({}) == [] and backend_abort_rows(None) == [])
 
     # Degraded inputs must not raise -- the console outlives the server.
     for m, h, a in ((None, None, None),
