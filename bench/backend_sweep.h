@@ -1,0 +1,107 @@
+// Shared per-backend sweep harness for the standalone (--json) bench modes.
+//
+// A sweep runs the same timed workload once per requested leg ("eager",
+// "lazy", "norec", ..., "auto"), installing each backend via the quiesced
+// switch, and records ops/sec, the abort/commit ratio, and -- for the `auto`
+// leg -- the number of runtime backend switches the adaptive controller
+// performed.  fprint_sweep() emits the legs as a nested "backend_sweep" JSON
+// object, which bench_check's scalar diffing skips, so adding or removing
+// legs never breaks ref comparisons.
+//
+// Used by bench/micro_tm.cpp and bench/vacation.cpp; keep workload-specific
+// knobs out of here.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tm/algs/adaptive.h"
+#include "tm/api.h"
+#include "tm/stats.h"
+
+namespace tmcv::bench {
+
+struct SweepLeg {
+  const char* name;
+  double ops_per_sec;
+  std::uint64_t switches;  // runtime backend switches observed (auto leg)
+  double abort_commit_ratio;
+};
+
+// Runs `run` (a callable returning ops/sec for one timed rep) once per leg
+// label.  Fixed legs take the best of three reps; the `auto` leg starts the
+// adaptive controller from EagerSTM and reports the best of the last three
+// of six reps, so the recorded number is the controller's steady-state
+// choice rather than the convergence transient.  Restores the entry backend
+// and disables the controller on exit.
+template <typename RunFn>
+std::vector<SweepLeg> run_backend_sweep(const std::vector<const char*>& legs,
+                                        const RunFn& run) {
+  using namespace tmcv::tm;
+  const Backend saved = default_backend();
+  std::vector<SweepLeg> out;
+  for (const char* name : legs) {
+    const Stats before = stats_snapshot();
+    double ops = 0;
+    if (std::strcmp(name, "auto") == 0) {
+      set_backend(Backend::EagerSTM);
+      set_backend_auto(true);
+      for (int rep = 0; rep < 6; ++rep) {
+        const double r = run();
+        if (rep >= 3 && r > ops) ops = r;
+      }
+      set_backend_auto(false);
+    } else {
+      // Best of three: single-run legs are noisy enough on shared machines
+      // to invert the cross-backend ordering the sweep exists to record.
+      Backend b{};
+      if (!backend_from_label(name, b)) continue;
+      set_backend(b);
+      for (int rep = 0; rep < 3; ++rep) {
+        const double r = run();
+        if (r > ops) ops = r;
+      }
+    }
+    const Stats after = stats_snapshot();
+    const std::uint64_t d_commits = after.commits - before.commits;
+    const std::uint64_t d_aborts = after.aborts - before.aborts;
+    out.push_back(SweepLeg{name, ops,
+                           after.backend_switches - before.backend_switches,
+                           d_commits ? static_cast<double>(d_aborts) /
+                                           static_cast<double>(d_commits)
+                                     : 0.0});
+  }
+  tm::set_backend_auto(false);
+  tm::set_backend(saved);
+  return out;
+}
+
+// Emits `  "backend_sweep": { "eager": {...}, ... },` (note the trailing
+// comma: callers follow with at least one more top-level field).
+inline void fprint_sweep(std::FILE* f, const std::vector<SweepLeg>& legs) {
+  std::fprintf(f, "  \"backend_sweep\": {");
+  bool first = true;
+  for (const SweepLeg& leg : legs) {
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"ops_per_sec\": %.0f, \"switches\": %llu, "
+                 "\"abort_commit_ratio\": %.6f}",
+                 first ? "" : ",", leg.name, leg.ops_per_sec,
+                 (unsigned long long)leg.switches, leg.abort_commit_ratio);
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+}
+
+// BENCH_foo.json -> BENCH_foo.metrics.json (registry snapshot sibling).
+inline std::string metrics_path_for(const char* out_path) {
+  std::string p(out_path);
+  const std::string suffix = ".json";
+  if (p.size() > suffix.size() &&
+      p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
+    p.resize(p.size() - suffix.size());
+  return p + ".metrics.json";
+}
+
+}  // namespace tmcv::bench

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend_sweep.h"
 #include "core/c_api.h"
 #include "obs/attribution.h"
 #include "tm/algs/adaptive.h"
@@ -43,17 +44,11 @@
 
 namespace {
 
-// BENCH_foo.json -> BENCH_foo.metrics.json (registry snapshot sibling).
-std::string metrics_path_for(const char* out_path) {
-  std::string p(out_path);
-  const std::string suffix = ".json";
-  if (p.size() > suffix.size() &&
-      p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
-    p.resize(p.size() - suffix.size());
-  return p + ".metrics.json";
-}
-
 using namespace tmcv::tm;
+using tmcv::bench::SweepLeg;
+using tmcv::bench::fprint_sweep;
+using tmcv::bench::metrics_path_for;
+using tmcv::bench::run_backend_sweep;
 
 // --backend=NAME from the command line (applies to every mode).  When set,
 // the JSON headers report the chosen label and the timed loops re-read the
@@ -245,81 +240,9 @@ BENCHMARK(BM_TmReadHeavy)->Arg(0)->Arg(1)->Threads(8)->UseRealTime();
 
 // ---------------------------------------------------------------------------
 // Backend sweep: per-backend throughput sections appended to the JSON
-// artifacts.  Runs AFTER the main profile's stats snapshot so the sweep's
-// counters never pollute the headline numbers; each leg installs its
-// backend via the quiesced switch and the `auto` leg runs the adaptive
-// controller (counting its observed switches).  Nested JSON objects are
-// invisible to bench_check's scalar diffing, so adding legs is always
-// ref-compatible.
-// ---------------------------------------------------------------------------
-
-struct SweepLeg {
-  const char* name;
-  double ops_per_sec;
-  std::uint64_t switches;  // runtime backend switches observed (auto leg)
-  double abort_commit_ratio;
-};
-
-template <typename RunFn>
-std::vector<SweepLeg> run_backend_sweep(const std::vector<const char*>& legs,
-                                        const RunFn& run) {
-  const Backend saved = default_backend();
-  std::vector<SweepLeg> out;
-  for (const char* name : legs) {
-    const Stats before = stats_snapshot();
-    double ops = 0;
-    if (std::strcmp(name, "auto") == 0) {
-      // Start the controller from EagerSTM (the process default) and give
-      // it enough wall-clock to converge: six back-to-back runs, reporting
-      // the best of the last three.  The leg's number is therefore the
-      // controller's steady-state choice, not the convergence transient,
-      // and any move away from eager is a genuine runtime switch.
-      set_backend(Backend::EagerSTM);
-      set_backend_auto(true);
-      for (int rep = 0; rep < 6; ++rep) {
-        const double r = run();
-        if (rep >= 3 && r > ops) ops = r;
-      }
-      set_backend_auto(false);
-    } else {
-      // Best of three: single-run legs are noisy enough on shared machines
-      // to invert the cross-backend ordering the sweep exists to record.
-      Backend b{};
-      if (!backend_from_label(name, b)) continue;
-      set_backend(b);
-      for (int rep = 0; rep < 3; ++rep) {
-        const double r = run();
-        if (r > ops) ops = r;
-      }
-    }
-    const Stats after = stats_snapshot();
-    const std::uint64_t d_commits = after.commits - before.commits;
-    const std::uint64_t d_aborts = after.aborts - before.aborts;
-    out.push_back(SweepLeg{name, ops,
-                           after.backend_switches - before.backend_switches,
-                           d_commits ? static_cast<double>(d_aborts) /
-                                           static_cast<double>(d_commits)
-                                     : 0.0});
-  }
-  set_backend_auto(false);
-  set_backend(saved);
-  return out;
-}
-
-void fprint_sweep(std::FILE* f, const std::vector<SweepLeg>& legs) {
-  std::fprintf(f, "  \"backend_sweep\": {");
-  bool first = true;
-  for (const SweepLeg& leg : legs) {
-    std::fprintf(f,
-                 "%s\n    \"%s\": {\"ops_per_sec\": %.0f, \"switches\": %llu, "
-                 "\"abort_commit_ratio\": %.6f}",
-                 first ? "" : ",", leg.name, leg.ops_per_sec,
-                 (unsigned long long)leg.switches, leg.abort_commit_ratio);
-    first = false;
-  }
-  std::fprintf(f, "\n  },\n");
-}
-
+// artifacts (harness shared with bench/vacation.cpp -- see backend_sweep.h).
+// Runs AFTER the main profile's stats snapshot so the sweep's counters never
+// pollute the headline numbers.
 // ---------------------------------------------------------------------------
 // Contended write-heavy zipfian workload (the contention-path anchor)
 // ---------------------------------------------------------------------------

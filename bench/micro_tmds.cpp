@@ -3,13 +3,18 @@
 // equivalents.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <mutex>
 #include <stack>
 #include <unordered_map>
 
 #include "tm/api.h"
+#include "tmds/tx_bst.h"
+#include "tmds/tx_counter.h"
 #include "tmds/tx_hashmap.h"
+#include "tmds/tx_list.h"
 #include "tmds/tx_queue.h"
+#include "tmds/tx_skiplist.h"
 #include "tmds/tx_stack.h"
 
 namespace {
@@ -22,6 +27,8 @@ tm::Backend backend_of(const benchmark::State& state) {
       return tm::Backend::EagerSTM;
     case 1:
       return tm::Backend::LazySTM;
+    case 3:
+      return tm::Backend::NOrec;
     default:
       return tm::Backend::HTM;
   }
@@ -121,6 +128,155 @@ void BM_TxComposedTransfer(benchmark::State& state) {
   tm::set_default_backend(tm::Backend::EagerSTM);
 }
 BENCHMARK(BM_TxComposedTransfer)->Arg(0)->Arg(1)->Arg(2);
+
+// ---------------------------------------------------------------------------
+// Ordered family mix sweeps: the same three access mixes over each ordered
+// structure (skiplist / unbalanced BST / sorted list), so the conflict-
+// footprint table in docs/DATASTRUCTURES.md is backed by numbers.  Arg(0)
+// selects the backend (0=eager 1=lazy 2=htm 3=norec); the sorted list is the
+// deliberate O(n)-read-set stress case where NOrec's per-read economics show
+// the widest spread.
+// ---------------------------------------------------------------------------
+
+using u64 = std::uint64_t;
+constexpr u64 kOrderedKeys = 1024;
+
+// Cheap deterministic key sequence in [0, kOrderedKeys).
+constexpr u64 mixed_key(u64 i) {
+  return (i * 0x9e3779b97f4a7c15ull) >> 54;
+}
+
+template <typename S>
+void fill_ordered(S& s) {
+  for (u64 k = 0; k < kOrderedKeys; ++k) s.insert(k, k);
+}
+
+// 90% point lookups / 10% overwrites on a fixed key population.
+template <typename S>
+void ordered_lookup_heavy(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  S s;
+  fill_ordered(s);
+  u64 i = 0, v = 0;
+  for (auto _ : state) {
+    const u64 k = mixed_key(i);
+    if (++i % 10 == 0)
+      s.insert(k, i);
+    else
+      benchmark::DoNotOptimize(s.get(k, v));
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+
+// Structural churn: every iteration inserts one fresh key and erases one
+// old key (sliding window over a 4x key space), so towers/subtrees/links
+// are built and torn down constantly.
+template <typename S>
+void ordered_update_heavy(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  S s;
+  fill_ordered(s);
+  u64 head = kOrderedKeys, tail = 0;
+  for (auto _ : state) {
+    s.insert(head++ & (4 * kOrderedKeys - 1), 1);
+    benchmark::DoNotOptimize(s.erase(tail++ & (4 * kOrderedKeys - 1)));
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+
+// Range scans dominate: one 256-key window per iteration plus a point
+// update every 16th, so the read set is wide and the occasional writer
+// invalidates in-flight scans.
+template <typename S>
+void ordered_traversal_heavy(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  S s;
+  fill_ordered(s);
+  u64 lo = 0, i = 0;
+  for (auto _ : state) {
+    u64 sum = 0;
+    s.range(lo, lo + 256, [&](u64, u64 val) {
+      sum += val;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+    lo = (lo + 256) & (kOrderedKeys - 1);
+    if (++i % 16 == 0) s.insert(mixed_key(i), i);
+  }
+  tm::gc_collect();
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+
+using SkipListU64 = tmds::TxSkipList<u64, u64>;
+using BstU64 = tmds::TxBst<u64, u64>;
+using ListU64 = tmds::TxSortedList<u64, u64>;
+
+void BM_SkipListLookupHeavy(benchmark::State& s) {
+  ordered_lookup_heavy<SkipListU64>(s);
+}
+void BM_BstLookupHeavy(benchmark::State& s) { ordered_lookup_heavy<BstU64>(s); }
+void BM_SortedListLookupHeavy(benchmark::State& s) {
+  ordered_lookup_heavy<ListU64>(s);
+}
+void BM_SkipListUpdateHeavy(benchmark::State& s) {
+  ordered_update_heavy<SkipListU64>(s);
+}
+void BM_BstUpdateHeavy(benchmark::State& s) { ordered_update_heavy<BstU64>(s); }
+void BM_SortedListUpdateHeavy(benchmark::State& s) {
+  ordered_update_heavy<ListU64>(s);
+}
+void BM_SkipListTraversalHeavy(benchmark::State& s) {
+  ordered_traversal_heavy<SkipListU64>(s);
+}
+void BM_BstTraversalHeavy(benchmark::State& s) {
+  ordered_traversal_heavy<BstU64>(s);
+}
+void BM_SortedListTraversalHeavy(benchmark::State& s) {
+  ordered_traversal_heavy<ListU64>(s);
+}
+
+BENCHMARK(BM_SkipListLookupHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_BstLookupHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_SortedListLookupHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_SkipListUpdateHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_BstUpdateHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_SortedListUpdateHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_SkipListTraversalHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_BstTraversalHeavy)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_SortedListTraversalHeavy)->Arg(0)->Arg(1)->Arg(3);
+
+// ---------------------------------------------------------------------------
+// Counters: the single-cell canary versus the striped scaling fix, alone
+// and under 4-way concurrency (where the single cell is a guaranteed
+// conflict per add and the stripes commute).
+// ---------------------------------------------------------------------------
+
+void BM_TxCounterAdd(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  static tmds::TxCounter counter;
+  for (auto _ : state) counter.add(1);
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxCounterAdd)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_TxCounterAdd)->Arg(0)->Arg(1)->Arg(3)->Threads(4)
+    ->UseRealTime();
+
+void BM_TxStripedCounterAdd(benchmark::State& state) {
+  tm::set_default_backend(backend_of(state));
+  state.SetLabel(tm::to_string(backend_of(state)));
+  static tmds::TxStripedCounter<16> counter;
+  for (auto _ : state) counter.add(1);
+  tm::set_default_backend(tm::Backend::EagerSTM);
+}
+BENCHMARK(BM_TxStripedCounterAdd)->Arg(0)->Arg(1)->Arg(3);
+BENCHMARK(BM_TxStripedCounterAdd)->Arg(0)->Arg(1)->Arg(3)->Threads(4)
+    ->UseRealTime();
 
 }  // namespace
 

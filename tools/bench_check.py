@@ -24,6 +24,12 @@ than scattered across workflow YAML:
     would gate one algorithm's throughput against another's and pass or
     fail for the wrong reason.  Regenerate the reference with the same
     `--backend` instead.
+  * mixes: when the reference carries a `mixes` object (bench/vacation.cpp
+    emits per-mix sections), every mix named in the reference must exist in
+    the fresh run and pass the same throughput-floor and abort-ceiling
+    checks on its own numbers -- a per-mix collapse (e.g. only the
+    high-contention leg livelocking) would otherwise hide behind a healthy
+    headline `ops_per_sec`.
 
     tools/bench_check.py BENCH_micro_tm.json micro_tm_ci.json
     tools/bench_check.py ref.json fresh.json --min-throughput-ratio 0.5
@@ -46,6 +52,40 @@ def load(path):
 def numeric_scalar_keys(doc):
     return {k for k, v in doc.items()
             if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def check_rates(ref, fresh, failures, lines, min_throughput_ratio,
+                max_abort_delta, label=""):
+    """Throughput-floor and abort-ceiling checks on one scalar section."""
+    tag = ("%s " % label) if label else ""
+    ref_ops = ref.get("ops_per_sec")
+    fresh_ops = fresh.get("ops_per_sec")
+    if not isinstance(ref_ops, (int, float)) or ref_ops <= 0:
+        failures.append("%sreference has no positive ops_per_sec" % tag)
+    elif isinstance(fresh_ops, (int, float)):
+        ratio = fresh_ops / ref_ops
+        verdict = "ok" if ratio >= min_throughput_ratio else "FAIL"
+        lines.append("%sops_per_sec: ref=%.0f fresh=%.0f ratio=%.3f "
+                     "(floor %.2f) %s"
+                     % (tag, ref_ops, fresh_ops, ratio, min_throughput_ratio,
+                        verdict))
+        if verdict == "FAIL":
+            failures.append(
+                "%sthroughput collapsed: %.0f vs ref %.0f (ratio %.3f < %.2f)"
+                % (tag, fresh_ops, ref_ops, ratio, min_throughput_ratio))
+
+    ref_ab = ref.get("abort_commit_ratio")
+    fresh_ab = fresh.get("abort_commit_ratio")
+    if isinstance(ref_ab, (int, float)) and isinstance(fresh_ab, (int, float)):
+        ceiling = ref_ab + max_abort_delta
+        verdict = "ok" if fresh_ab <= ceiling else "FAIL"
+        lines.append("%sabort_commit_ratio: ref=%.6f fresh=%.6f "
+                     "(ceiling %.6f) %s" % (tag, ref_ab, fresh_ab, ceiling,
+                                            verdict))
+        if verdict == "FAIL":
+            failures.append(
+                "%sabort ratio blew up: %.6f vs ref %.6f (+%.6f allowed)"
+                % (tag, fresh_ab, ref_ab, max_abort_delta))
 
 
 def compare(ref, fresh, min_throughput_ratio=0.20, max_abort_delta=0.05):
@@ -79,34 +119,25 @@ def compare(ref, fresh, min_throughput_ratio=0.20, max_abort_delta=0.05):
     if missing:
         failures.append("fresh run lost numeric keys: %s" % ", ".join(missing))
 
-    ref_ops = ref.get("ops_per_sec")
-    fresh_ops = fresh.get("ops_per_sec")
-    if not isinstance(ref_ops, (int, float)) or ref_ops <= 0:
-        failures.append("reference has no positive ops_per_sec")
-    elif isinstance(fresh_ops, (int, float)):
-        ratio = fresh_ops / ref_ops
-        verdict = "ok" if ratio >= min_throughput_ratio else "FAIL"
-        lines.append("ops_per_sec: ref=%.0f fresh=%.0f ratio=%.3f "
-                     "(floor %.2f) %s"
-                     % (ref_ops, fresh_ops, ratio, min_throughput_ratio,
-                        verdict))
-        if verdict == "FAIL":
-            failures.append(
-                "throughput collapsed: %.0f vs ref %.0f (ratio %.3f < %.2f)"
-                % (fresh_ops, ref_ops, ratio, min_throughput_ratio))
+    check_rates(ref, fresh, failures, lines, min_throughput_ratio,
+                max_abort_delta)
 
-    ref_ab = ref.get("abort_commit_ratio")
-    fresh_ab = fresh.get("abort_commit_ratio")
-    if isinstance(ref_ab, (int, float)) and isinstance(fresh_ab, (int, float)):
-        ceiling = ref_ab + max_abort_delta
-        verdict = "ok" if fresh_ab <= ceiling else "FAIL"
-        lines.append("abort_commit_ratio: ref=%.6f fresh=%.6f "
-                     "(ceiling %.6f) %s" % (ref_ab, fresh_ab, ceiling,
-                                            verdict))
-        if verdict == "FAIL":
-            failures.append(
-                "abort ratio blew up: %.6f vs ref %.6f (+%.6f allowed)"
-                % (fresh_ab, ref_ab, max_abort_delta))
+    # Per-mix sections (vacation-style JSON): every mix in the reference
+    # must survive in the fresh run and pass its own floors.  Dropping a
+    # mix is the nested analogue of a vanished numeric key.
+    ref_mixes = ref.get("mixes")
+    if isinstance(ref_mixes, dict):
+        fresh_mixes = fresh.get("mixes")
+        if not isinstance(fresh_mixes, dict):
+            failures.append("fresh run lost the 'mixes' section")
+        else:
+            for mix_name in sorted(ref_mixes):
+                if mix_name not in fresh_mixes:
+                    failures.append("fresh run lost mix %r" % mix_name)
+                    continue
+                check_rates(ref_mixes[mix_name], fresh_mixes[mix_name],
+                            failures, lines, min_throughput_ratio,
+                            max_abort_delta, label="mix[%s]" % mix_name)
     return failures, lines
 
 
@@ -117,6 +148,15 @@ _REF = {"benchmark": "micro_tm_read_heavy", "backend": "EagerSTM",
         "threads": 8,
         "ops_per_sec": 2000000, "abort_commit_ratio": 0.001,
         "commits": 1600000, "aborts": 1600}
+
+_VAC_REF = {"benchmark": "vacation", "backend": "EagerSTM", "threads": 4,
+            "ops_per_sec": 500000, "abort_commit_ratio": 0.0002,
+            "commits": 85000, "aborts": 20,
+            "mixes": {
+                "low_contention": {"ops_per_sec": 500000,
+                                   "abort_commit_ratio": 0.0002},
+                "high_contention": {"ops_per_sec": 70000,
+                                    "abort_commit_ratio": 0.023}}}
 
 
 def self_test():
@@ -167,6 +207,45 @@ def self_test():
 
     fails, _ = compare({"benchmark": "x"}, {"benchmark": "x"})
     check("ref without ops_per_sec fails", fails)
+
+    # Vacation-style per-mix sections.
+    import copy
+
+    vac_ok = copy.deepcopy(_VAC_REF)
+    vac_ok["mixes"]["low_contention"]["ops_per_sec"] = 400000
+    fails, _ = compare(_VAC_REF, vac_ok)
+    check("healthy vacation run passes", not fails)
+
+    vac_slow = copy.deepcopy(_VAC_REF)
+    vac_slow["mixes"]["high_contention"]["ops_per_sec"] = 5000
+    fails, _ = compare(_VAC_REF, vac_slow)
+    check("per-mix throughput collapse fails even with healthy headline",
+          any("mix[high_contention]" in f and "collapsed" in f
+              for f in fails))
+
+    vac_storm = copy.deepcopy(_VAC_REF)
+    vac_storm["mixes"]["low_contention"]["abort_commit_ratio"] = 0.4
+    fails, _ = compare(_VAC_REF, vac_storm)
+    check("per-mix abort storm fails",
+          any("mix[low_contention]" in f and "abort ratio" in f
+              for f in fails))
+
+    vac_lost_mix = copy.deepcopy(_VAC_REF)
+    del vac_lost_mix["mixes"]["high_contention"]
+    fails, _ = compare(_VAC_REF, vac_lost_mix)
+    check("vanished mix fails",
+          any("lost mix" in f and "high_contention" in f for f in fails))
+
+    vac_no_mixes = copy.deepcopy(_VAC_REF)
+    del vac_no_mixes["mixes"]
+    fails, _ = compare(_VAC_REF, vac_no_mixes)
+    check("vanished mixes section fails",
+          any("lost the 'mixes' section" in f for f in fails))
+
+    fails, _ = compare(_VAC_REF, dict(copy.deepcopy(_VAC_REF),
+                                      backend="NOrec"))
+    check("vacation cross-backend comparison refused",
+          any("backend mismatch" in f for f in fails))
 
     failed = [name for name, ok in checks if not ok]
     for name in failed:
