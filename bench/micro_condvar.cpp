@@ -15,6 +15,7 @@
 // `--hold-ms=N` keeps it up N ms after the workload finishes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -33,8 +34,10 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #include "obs/watchdog.h"
 #include "sync/semaphore.h"
+#include "sync/waitpoint.h"
 #include "tm/api.h"
 #include "util/timing.h"
 
@@ -319,50 +322,105 @@ int run_json_herd_mode(const char* out_path) {
   constexpr int kWaiters = 8;
   constexpr int kRounds = 2000;
 
-  std::mutex m;
-  condition_variable cv;
-  std::uint64_t round = 0;
-  bool stop = false;
-  std::vector<std::thread> waiters;
-  waiters.reserve(kWaiters);
-  for (int t = 0; t < kWaiters; ++t) {
-    waiters.emplace_back([&] {
-      std::uint64_t seen = 0;
-      std::unique_lock<std::mutex> lk(m);
-      while (!stop) {
-        while (round == seen && !stop) cv.wait(lk);
-        seen = round;
-      }
-    });
-  }
-  const auto wait_for_full_queue = [&] {
-    while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
-  };
+  // One complete herd pass (spawn, warm up, run kRounds measured, tear
+  // down), returning the measured elapsed seconds.  It runs twice per arm
+  // of an A/B over the always-on wait-point registry: this is the densest
+  // park/wake traffic in the repo, so the off/on throughput ratio prices
+  // the per-park publish (the committed waitpoint_overhead_pct, gated at
+  // <= 2% in CI).  The committed headline numbers and wake counters come
+  // from the ENABLED arm -- the configuration every real run ships with.
+  // `round_ticks`, when given, receives one TSC delta per measured round
+  // (the overhead A/B compares per-round medians; see below).
+  const auto herd_pass = [](int rounds,
+                            std::vector<std::uint64_t>* round_ticks) {
+    std::mutex m;
+    condition_variable cv;
+    std::uint64_t round = 0;
+    bool stop = false;
+    std::vector<std::thread> waiters;
+    waiters.reserve(kWaiters);
+    for (int t = 0; t < kWaiters; ++t) {
+      waiters.emplace_back([&] {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(m);
+        while (!stop) {
+          while (round == seen && !stop) cv.wait(lk);
+          seen = round;
+        }
+      });
+    }
+    const auto wait_for_full_queue = [&] {
+      while (cv.raw().waiter_count() < kWaiters) std::this_thread::yield();
+    };
 
-  wait_for_full_queue();  // warm-up: everyone parked once
+    wait_for_full_queue();  // warm-up: everyone parked once
+    tmcv::Stopwatch sw;
+    for (int r = 0; r < rounds; ++r) {
+      const std::uint64_t t0 = round_ticks != nullptr ? TscClock::now() : 0;
+      {
+        std::unique_lock<std::mutex> lk(m);
+        ++round;
 #if TMCV_BENCH_HAVE_WAKE_PATH
-  const WakeStats wake_before = wake_stats_snapshot();
+        cv.notify_all(lk);  // scoped: morph the herd onto the lock's chain
+#else
+        cv.notify_all();  // pre-overhaul facade: herd wake under the lock
 #endif
-  tmcv::Stopwatch sw;
-  for (int r = 0; r < kRounds; ++r) {
+      }
+      wait_for_full_queue();
+      if (round_ticks != nullptr)
+        round_ticks->push_back(TscClock::now() - t0);
+    }
+    const double elapsed = sw.elapsed_seconds();
     {
       std::unique_lock<std::mutex> lk(m);
-      ++round;
-#if TMCV_BENCH_HAVE_WAKE_PATH
-      cv.notify_all(lk);  // scoped: morph the herd onto the lock's chain
-#else
-      cv.notify_all();  // pre-overhaul facade: herd wake under the lock
-#endif
+      stop = true;
+      cv.notify_all();
     }
-    wait_for_full_queue();
+    for (auto& th : waiters) th.join();
+    return elapsed;
+  };
+
+  // Paired A/B on per-round MEDIANS: each rep runs the two arms back to
+  // back recording every round's duration, takes the ratio of the two
+  // PER-REP medians, and the overhead is the median ratio across reps.
+  // Wall-clock elapsed per arm is useless on a busy shared machine: a
+  // round preempted by unrelated load costs 100x a clean one, so a pass's
+  // total is mostly a count of how many preemptions it happened to eat.
+  // The median round is immune to that tail; ratioing ADJACENT passes
+  // cancels slow load drift (both arms of a rep see the same machine);
+  // and the median across reps discards reps where a load phase flipped
+  // mid-rep anyway.
+  constexpr int kAbReps = 6;
+  const auto median_of = [](std::vector<std::uint64_t>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return static_cast<double>(v[v.size() / 2]);
+  };
+  double rep_ratios[kAbReps];
+  std::vector<std::uint64_t> off_rounds, on_rounds;
+  off_rounds.reserve(kRounds);
+  on_rounds.reserve(kRounds);
+  for (int rep = 0; rep < kAbReps; ++rep) {
+    off_rounds.clear();
+    on_rounds.clear();
+    set_waitpoints_enabled(false);
+    herd_pass(kRounds, &off_rounds);
+    set_waitpoints_enabled(true);
+    herd_pass(kRounds, &on_rounds);
+    rep_ratios[rep] = median_of(on_rounds) / median_of(off_rounds);
   }
-  const double herd_elapsed = sw.elapsed_seconds();
-  {
-    std::unique_lock<std::mutex> lk(m);
-    stop = true;
-    cv.notify_all();
-  }
-  for (auto& th : waiters) th.join();
+  std::sort(rep_ratios, rep_ratios + kAbReps);
+  const double median_ratio =
+      (rep_ratios[kAbReps / 2 - 1] + rep_ratios[kAbReps / 2]) / 2.0;
+#if TMCV_BENCH_HAVE_WAKE_PATH
+  // Wake counters cover exactly one enabled pass (plus the pingpong below)
+  // so the committed magnitudes stay comparable across revisions.
+  const WakeStats wake_before = wake_stats_snapshot();
+#endif
+  const double herd_elapsed = herd_pass(kRounds, nullptr);
+  const double rate_on = double(kWaiters) * kRounds / herd_elapsed;
+  // Positive = publishing wait points costs throughput; a negative value
+  // (noise) is reported as measured, not clamped.
+  const double waitpoint_overhead_pct = (median_ratio - 1.0) * 100.0;
 
   // Phase 2: uncontended semaphore ping-pong.  The budget is pinned to the
   // default explicitly so the CI parks_avoided > 0 assertion holds even if
@@ -412,6 +470,10 @@ int run_json_herd_mode(const char* out_path) {
       "  \"benchmark\": \"micro_condvar_herd\",\n"
       "  \"have_wake_path\": %d,\n"
       "  \"wait_morphing\": %d,\n"
+      // Headline alias for tools/bench_check.py's throughput floor: the
+      // herd benchmark's "operation" is one waiter carried wake-to-run.
+      "  \"ops_per_sec\": %.0f,\n"
+      "  \"waitpoint_overhead_pct\": %.2f,\n"
       "  \"herd\": {\n"
       "    \"waiters\": %d,\n"
       "    \"rounds\": %d,\n"
@@ -431,8 +493,8 @@ int run_json_herd_mode(const char* out_path) {
       "    \"handoffs\": %llu\n"
       "  }\n"
       "}\n",
-      have_wake_path, morphing, kWaiters, kRounds,
-      double(kWaiters) * kRounds / herd_elapsed, kRounds / herd_elapsed,
+      have_wake_path, morphing, rate_on, waitpoint_overhead_pct, kWaiters,
+      kRounds, rate_on, kRounds / herd_elapsed,
       kPingRounds, kPingRounds / ping_elapsed,
       static_cast<unsigned long long>(wd.spin_attempts),
       static_cast<unsigned long long>(wd.spin_rounds),
@@ -441,9 +503,122 @@ int run_json_herd_mode(const char* out_path) {
       static_cast<unsigned long long>(wd.requeues),
       static_cast<unsigned long long>(wd.handoffs));
   std::fclose(f);
-  std::printf("wrote %s (wake_to_run/sec=%.0f, parks_avoided=%llu)\n",
-              out_path, double(kWaiters) * kRounds / herd_elapsed,
-              static_cast<unsigned long long>(wd.parks_avoided));
+  std::printf(
+      "wrote %s (wake_to_run/sec=%.0f, parks_avoided=%llu, "
+      "waitpoint_overhead=%.2f%%)\n",
+      out_path, rate_on, static_cast<unsigned long long>(wd.parks_avoided),
+      waitpoint_overhead_pct);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --lost-wakeup mode: deterministic fault injection for the stuck-thread
+// diagnosis pipeline (the CI stall-smoke job and the OBSERVABILITY.md
+// walkthrough)
+// ---------------------------------------------------------------------------
+//
+// A straggler thread waits on its own condition variable for a round
+// counter the main thread advances.  For the first `drop_round - 1` rounds
+// the advance is followed by notify_one (healthy traffic: the cv
+// accumulates a notify history).  At `drop_round` the counter is advanced
+// WITHOUT the notify -- the textbook lost wakeup: the condition changed,
+// nobody was told, and the predicate loop cannot save a thread that never
+// wakes to re-check it.  A keeper thread then runs small transactions so
+// the rest of the process visibly makes progress, which is exactly the
+// signature the waitgraph probe's suspect heuristic keys on: episode
+// outlived its windows + cv went silent + cv was notified before + commits
+// advanced.  The run waits for the watchdog's stuck_thread rule to fire
+// (the fire edge writes the flight dump), optionally lingers so an
+// external scraper can inspect /waitgraph, then delivers the dropped
+// notify for a clean exit.  Exit 0 iff the alert fired.
+int run_lost_wakeup_mode(int drop_round, long stuck_ms, long linger_ms,
+                         const char* dump_path) {
+  // Fast cadence so suspect confirmation (stuck_windows probe ticks) and
+  // the watchdog's consecutive-breach filter resolve in CI time; the
+  // stuck_thread threshold is overridden from its 3 s production default.
+  obs::TimeSeriesOptions ts;
+  ts.interval_ms = 100;
+  obs::timeseries().start(ts);
+  std::vector<obs::WatchdogRule> rules = obs::default_rules();
+  for (obs::WatchdogRule& r : rules)
+    if (r.kind == obs::RuleKind::kStuckThread)
+      r.threshold = static_cast<double>(stuck_ms);
+  obs::watchdog().start(rules, dump_path != nullptr ? dump_path : "");
+
+  std::mutex m;
+  condition_variable cv;
+  std::uint64_t round = 0;
+  bool exit_now = false;
+  std::thread straggler([&] {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m);
+    while (!exit_now) {
+      while (round == seen && !exit_now) cv.wait(lk);
+      seen = round;
+    }
+  });
+  const auto straggler_parked = [&] {
+    while (cv.raw().waiter_count() < 1) std::this_thread::yield();
+  };
+
+  straggler_parked();
+  for (int r = 1; r < drop_round; ++r) {
+    {
+      std::unique_lock<std::mutex> lk(m);
+      ++round;
+      cv.notify_one();
+    }
+    straggler_parked();  // woke, consumed the round, re-parked
+  }
+  {
+    std::unique_lock<std::mutex> lk(m);
+    ++round;  // the condition changes; the notify is "forgotten"
+  }
+  std::printf("lost-wakeup: dropped the notify for round %d\n", drop_round);
+  std::fflush(stdout);
+
+  // Keeper: healthy transactional progress while the straggler hangs, so
+  // the diagnosis is "this thread is stuck", not "the process is wedged".
+  std::atomic<bool> keeper_stop{false};
+  tm::var<std::uint64_t> beat(0);
+  std::thread keeper([&] {
+    while (!keeper_stop.load()) {
+      tm::atomically([&] { beat.store(beat.load() + 1); });
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  bool fired = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!fired && std::chrono::steady_clock::now() < deadline) {
+    for (const obs::AlertState& st : obs::watchdog().alerts())
+      if (st.rule.kind == obs::RuleKind::kStuckThread && st.fired_count > 0)
+        fired = true;
+    if (!fired)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (fired && linger_ms > 0)  // hold the evidence up for live scrapers
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+
+  keeper_stop.store(true);
+  keeper.join();
+  {
+    std::unique_lock<std::mutex> lk(m);
+    exit_now = true;
+    cv.notify_one();  // the fix: deliver the wakeup the bug dropped
+  }
+  straggler.join();
+  obs::watchdog().stop();
+  obs::timeseries().stop();
+  if (!fired) {
+    std::fprintf(stderr,
+                 "lost-wakeup: stuck_thread never fired within 60 s\n");
+    return 1;
+  }
+  std::printf("lost-wakeup: stuck_thread fired%s%s\n",
+              dump_path != nullptr ? ", flight dump at " : "",
+              dump_path != nullptr ? dump_path : "");
   return 0;
 }
 
@@ -529,14 +704,26 @@ int main(int argc, char** argv) {
   //   --history[=MS]          time-series recorder at MS ms cadence (1000)
   //   --watchdog              SLO watchdog on default rules (implies
   //                           --history; enables timing + attribution)
+  //   --lost-wakeup[=ROUND]   inject a lost wakeup at ROUND (default 3) and
+  //                           wait for the stuck_thread alert (manages its
+  //                           own recorder + watchdog; exit 0 iff it fired)
+  //   --stuck-ms=N            stuck_thread threshold override (default 500)
+  //   --linger-ms=N           hold the stuck state N ms after the fire so a
+  //                           live scraper can hit /waitgraph
+  //   --dump=PATH             watchdog flight-dump path for --lost-wakeup
   bool serve = false;
   int serve_port = 0;
   long hold_ms = 0;
   long history_ms = 0;
   bool watchdog_on = false;
   const char* trace_path = nullptr;
-  int mode = 0;  // 0 = google-benchmark, 1 = --json, 2 = --json-herd
+  // 0 = google-benchmark, 1 = --json, 2 = --json-herd, 3 = --lost-wakeup
+  int mode = 0;
   const char* out_path = nullptr;
+  int lost_round = 3;
+  long stuck_ms = 500;
+  long linger_ms = 0;
+  const char* dump_path = nullptr;
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -561,6 +748,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--json-herd") == 0) {
       mode = 2;
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
+    } else if (std::strncmp(a, "--lost-wakeup", 13) == 0 &&
+               (a[13] == '\0' || a[13] == '=')) {
+      mode = 3;
+      if (a[13] == '=') lost_round = std::atoi(a + 14);
+      if (lost_round < 2) lost_round = 2;  // need >= 1 healthy notify first
+    } else if (std::strncmp(a, "--stuck-ms=", 11) == 0) {
+      stuck_ms = std::atol(a + 11);
+    } else if (std::strncmp(a, "--linger-ms=", 12) == 0) {
+      linger_ms = std::atol(a + 12);
+    } else if (std::strncmp(a, "--dump=", 7) == 0) {
+      dump_path = a + 7;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -576,6 +774,12 @@ int main(int argc, char** argv) {
     }
     std::printf("telemetry: http://127.0.0.1:%d/metrics\n", port);
     std::fflush(stdout);
+  }
+  if (mode == 3) {
+    // --lost-wakeup runs its own recorder + watchdog (fast cadence, low
+    // stuck threshold); the generic flags would double-start them.
+    watchdog_on = false;
+    history_ms = 0;
   }
   if (watchdog_on && history_ms == 0) history_ms = 1000;
   if (watchdog_on) {
@@ -595,6 +799,8 @@ int main(int argc, char** argv) {
   } else if (mode == 2) {
     rc = run_json_herd_mode(out_path ? out_path
                                      : "BENCH_micro_condvar_herd.json");
+  } else if (mode == 3) {
+    rc = run_lost_wakeup_mode(lost_round, stuck_ms, linger_ms, dump_path);
   }
   if (rc == 0 && trace_path != nullptr) rc = run_traced_herd(trace_path);
   if (mode == 0 && trace_path == nullptr) {

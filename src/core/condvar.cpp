@@ -110,6 +110,20 @@ CondVarStats condvar_stats_aggregate() {
   return s;
 }
 
+bool condvar_probe(const void* cv, CondVarStats& stats,
+                   std::uint16_t& last_notify_site) {
+  CvRegistry& r = cv_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const CondVar* live : r.live) {
+    if (live != cv) continue;
+    stats = live->stats();
+    last_notify_site =
+        live->last_notify_site_.load(std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 CondVar::CommitSleep& CondVar::commit_sleep_stash() noexcept {
   thread_local CommitSleep cs;
   return cs;
@@ -117,7 +131,13 @@ CondVar::CommitSleep& CondVar::commit_sleep_stash() noexcept {
 
 void CondVar::commit_sleep_thunk(void* ctx) noexcept {
   CommitSleep& cs = *static_cast<CommitSleep*>(ctx);
-  cs.node->sem.wait();
+  {
+    // The registering transaction has committed by the time the handler
+    // runs, so publishing the park is safe (no syscall-in-txn hazard) and
+    // its site label is still the committed transaction's.
+    WaitScope wp(WaitReason::kCondVar, cs.cv, wait_site());
+    cs.node->sem.wait();
+  }
   cs.cv->finish_wait(*cs.node, cs.t0);
   // wait_at_commit never re-acquires a lock, so relay immediately (same
   // contract as wait_final).

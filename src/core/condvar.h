@@ -26,6 +26,7 @@
 #include "sync/semaphore.h"
 #include "sync/sync_context.h"
 #include "sync/wait_morph.h"
+#include "sync/waitpoint.h"
 #include "tm/api.h"
 #include "tm/txn_sync.h"
 #include "tm/var.h"
@@ -96,6 +97,15 @@ struct CondVarStats {
 // twice or lost).  Per-field consistency model as documented above.
 [[nodiscard]] CondVarStats condvar_stats_aggregate();
 
+// Safe by-address probe for the wait-for graph: if `cv` is a LIVE CondVar
+// (checked against the registry under its mutex -- never dereferenced
+// otherwise), copy its counters and the site label of its most recent
+// notify into the out-params and return true.  A parked waiter keeps its
+// condvar alive (destruction with waiters queued is an assertion failure),
+// so a pointer read from an active wait slot always resolves.
+[[nodiscard]] bool condvar_probe(const void* cv, CondVarStats& stats,
+                                 std::uint16_t& last_notify_site);
+
 namespace detail {
 
 // One queue node per thread (Algorithm 3).  A thread waits on at most one
@@ -150,7 +160,12 @@ class CondVar {
     enqueue_self(node);
     sync.end_block();            // line 9: break atomicity
     tm::syscall_fence();         // sleeping would abort a hardware txn
-    node.sem.wait();             // line 10: block until notified
+    {
+      // Publish "parked on this condvar" (with the wait's txn-site label)
+      // into the wait-point registry for the duration of the sleep.
+      WaitScope wp(WaitReason::kCondVar, this, wait_site());
+      node.sem.wait();           // line 10: block until notified
+    }
     finish_wait(node, t0);
     run_continuation(sync, node, std::forward<Cont>(cont));
   }
@@ -167,7 +182,10 @@ class CondVar {
     enqueue_self(node);
     sync.end_block();
     tm::syscall_fence();
-    node.sem.wait();
+    {
+      WaitScope wp(WaitReason::kCondVar, this, wait_site());
+      node.sem.wait();
+    }
     finish_wait(node, t0);
     reacquire_and_relay(sync, node);  // line 11: re-lock / begin cont. txn
   }
@@ -195,10 +213,17 @@ class CondVar {
     sync.end_block();
     tm::syscall_fence();
     timed_waits_.fetch_add(1, std::memory_order_relaxed);
-    bool notified = node.sem.wait_for(ns);
+    bool notified;
+    {
+      // Scoped tightly around the sleep so the try_remove_self transaction
+      // below is never misreported as "parked" in the wait-point registry.
+      WaitScope wp(WaitReason::kCondVar, this, wait_site());
+      notified = node.sem.wait_for(ns);
+    }
     if (!notified && !try_remove_self(node)) {
       // A notifier dequeued us concurrently with the timeout: the post is
       // committed or imminent; absorb it so the semaphore stays balanced.
+      WaitScope wp(WaitReason::kCondVar, this, wait_site());
       node.sem.wait();
       notified = true;
     }
@@ -224,7 +249,10 @@ class CondVar {
     enqueue_self(node);
     sync.end_block();
     tm::syscall_fence();
-    node.sem.wait();
+    {
+      WaitScope wp(WaitReason::kCondVar, this, wait_site());
+      node.sem.wait();
+    }
     finish_wait(node, t0);
     // No re-acquire by contract, so nothing to pace against: relay at once.
     morph_consume(node.morph);
@@ -393,7 +421,17 @@ class CondVar {
     node.next.store_plain(nullptr);
     node.tag.store_plain(tag);
     node.morph.sem = &node.sem;
+    // Let morph_requeue mirror relay-chain membership into this thread's
+    // wait slot (cleared by the WaitScope around the park on wake).
+    node.morph.wslot = my_wait_slot();
     return node;
+  }
+
+  // Site label for the wait's registry publish: whatever transaction label
+  // was in flight when the caller blocked (the enqueue hint, or the user's
+  // own TMCV_TXN_SITE on an ambient transaction).  0 with TMCV_TRACE=OFF.
+  [[nodiscard]] static std::uint16_t wait_site() noexcept {
+    return tm::descriptor().txn_site();
   }
 
   // Lines 2-8 of WAIT: insert into the queue under a transaction.  Flat
@@ -466,6 +504,10 @@ class CondVar {
   void count_notify(std::atomic<std::uint64_t>& calls, std::size_t woken,
                     std::uint64_t t0) noexcept {
     calls.fetch_add(1, std::memory_order_relaxed);
+    // Remember who notifies this condvar (by txn-site label) so the
+    // wait-for graph can point a parked waiter at its expected notifier.
+    last_notify_site_.store(tm::descriptor().txn_site(),
+                            std::memory_order_relaxed);
     if (woken == 0)
       lost_notifies_.fetch_add(1, std::memory_order_relaxed);
     else
@@ -486,7 +528,10 @@ class CondVar {
   tm::var<std::size_t> size_{0};
   WakePolicy policy_;
 
+  friend bool condvar_probe(const void*, CondVarStats&, std::uint16_t&);
+
   // Metrics (relaxed; see CondVarStats).
+  std::atomic<std::uint16_t> last_notify_site_{0};
   std::atomic<std::uint64_t> waits_{0};
   std::atomic<std::uint64_t> timed_waits_{0};
   std::atomic<std::uint64_t> timeouts_{0};

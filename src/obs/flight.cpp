@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #include "obs/watchdog.h"
 #include "tmcv_version.h"
 
@@ -107,6 +108,7 @@ std::string flight_json(const FlightDumpOptions& opts) {
      << watchdog().alerts_json() << ",\n\"metrics\": " << to_json(snap)
      << ",\n\"history\": " << timeseries().to_json()
      << ",\n\"attribution_full\": " << attribution_full_json(snap.attribution)
+     << ",\n\"waitgraph\": " << waitgraph_json()
      << ",\n\"trace\": " << chrome_trace_json() << "\n}\n";
   return os.str();
 }

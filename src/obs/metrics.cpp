@@ -88,6 +88,7 @@ MetricsSnapshot metrics_snapshot() {
   });
   s.attribution = attribution_snapshot();
   scrape_app_counters_into(s.app);
+  s.stall = stall_snapshot();
   s.cv_wait_ns = hist_cv_wait().snapshot();
   s.notify_wake_ns = hist_notify_wake().snapshot();
   s.txn_commit_ns = hist_txn_commit().snapshot();
@@ -124,6 +125,22 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& now,
         ac.value = ac.value > bc.value ? ac.value - bc.value : 0;
         break;
       }
+  // Stall entries match by (reason, site); totals are re-derived from the
+  // diffed entries so the "total_ns == sum of entry ns" contract survives
+  // the subtraction (total_ticks likewise stays the two-ledger diff).
+  d.stall.total_ticks = now.stall.total_ticks > before.stall.total_ticks
+                            ? now.stall.total_ticks - before.stall.total_ticks
+                            : 0;
+  d.stall.total_ns = 0;
+  for (StallEntry& e : d.stall.entries) {
+    for (const StallEntry& be : before.stall.entries)
+      if (be.reason == e.reason && be.site == e.site) {
+        e.ticks = e.ticks > be.ticks ? e.ticks - be.ticks : 0;
+        e.ns = e.ns > be.ns ? e.ns - be.ns : 0;
+        break;
+      }
+    d.stall.total_ns += e.ns;
+  }
   d.cv_wait_ns -= before.cv_wait_ns;
   d.notify_wake_ns -= before.notify_wake_ns;
   d.txn_commit_ns -= before.txn_commit_ns;
@@ -271,7 +288,18 @@ std::string to_json(const MetricsSnapshot& s) {
        << "\": " << ac.value;
     first = false;
   }
-  os << "\n  },\n  \"histograms\": {\n";
+  os << "\n  },\n  \"stall\": {\n    \"total_ticks\": "
+     << s.stall.total_ticks << ",\n    \"total_ns\": " << s.stall.total_ns
+     << ",\n    \"entries\": [";
+  first = true;
+  for (const StallEntry& e : s.stall.entries) {
+    os << (first ? "" : ",") << "\n      {\"reason\": \""
+       << wait_reason_name(e.reason) << "\", \"site\": \""
+       << escaped(site_name(e.site)) << "\", \"ticks\": " << e.ticks
+       << ", \"ns\": " << e.ns << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n    ") << "]\n  },\n  \"histograms\": {\n";
   first = true;
   for_each_hist(s, [&](const NamedHist& h) {
     char mean[64];
@@ -397,6 +425,17 @@ std::string to_prometheus(const MetricsSnapshot& s) {
   header("tmcv_attr_dropped_total", "counter",
          "Attribution increments lost to counter-table overflow.");
   os << "tmcv_attr_dropped_total " << s.attribution.dropped << "\n";
+  header("tmcv_stall_ns_total", "counter",
+         "Off-CPU park time by wait reason and transaction site, in "
+         "nanoseconds (wait-point registry stall table).");
+  for (const StallEntry& e : s.stall.entries)
+    os << "tmcv_stall_ns_total{reason=\"" << wait_reason_name(e.reason)
+       << "\",site=\"" << escaped(site_name(e.site)) << "\"} " << e.ns
+       << "\n";
+  header("tmcv_stall_overall_ns_total", "counter",
+         "Grand-total off-CPU park time in nanoseconds (independent "
+         "ledger; equals the sum of tmcv_stall_ns_total samples).");
+  os << "tmcv_stall_overall_ns_total " << s.stall.total_ns << "\n";
   for (const AppCounter& ac : s.app) {
     // Registered application counters; names are sanitized into the
     // Prometheus identifier alphabet.

@@ -21,6 +21,7 @@
 #include "obs/attribution.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #include "sync/wake_stats.h"
 #include "tm/stats.h"
 
@@ -78,6 +79,7 @@ struct MetricsSnapshot {
   std::vector<RingDrops> trace_ring_drops;  // per-ring breakdown (every ring)
   AttributionSnapshot attribution;  // conflict attribution (sorted, unsliced)
   std::vector<AppCounter> app;      // registered application counters
+  StallSnapshot stall;              // off-CPU park time by (reason x site)
 
   HistogramSnapshot cv_wait_ns;       // condvar enqueue -> wakeup
   HistogramSnapshot notify_wake_ns;   // notify selection -> waiter running

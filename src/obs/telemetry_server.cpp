@@ -19,6 +19,7 @@
 
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
+#include "obs/waitgraph.h"
 #include "obs/watchdog.h"
 #include "util/net.h"
 
@@ -138,6 +139,59 @@ struct TelemetryServer::Impl {
     return os.str();
   }
 
+  // One row per GET path.  The table generates BOTH the dispatch and the
+  // 404 help string, so a route cannot ship without its help text (the
+  // old hand-maintained help line drifted twice).
+  struct RouteRow {
+    const char* path;
+    const char* content_type;
+    std::string (*handler)(Impl& im, const MetricsSnapshot& snap);
+  };
+
+  static const std::vector<RouteRow>& routes() {
+    static const std::vector<RouteRow> r = {
+        {"/metrics", "text/plain; version=0.0.4",
+         [](Impl&, const MetricsSnapshot& s) {
+           // Watchdog gauges ride the Prometheus export so one scrape
+           // target covers counters and alerts.
+           return to_prometheus(s) + watchdog().prometheus();
+         }},
+        {"/metrics.json", "application/json",
+         [](Impl&, const MetricsSnapshot& s) { return to_json(s); }},
+        {"/healthz", "application/json",
+         [](Impl& im, const MetricsSnapshot&) { return im.healthz_json(); }},
+        {"/profile", "application/json",
+         [](Impl&, const MetricsSnapshot& s) { return profile_json(s); }},
+        {"/history", "text/plain; version=0.0.4",
+         [](Impl&, const MetricsSnapshot&) {
+           return timeseries().to_text();
+         }},
+        {"/history.json", "application/json",
+         [](Impl&, const MetricsSnapshot&) {
+           return timeseries().to_json();
+         }},
+        {"/alerts", "application/json",
+         [](Impl&, const MetricsSnapshot&) {
+           return watchdog().alerts_json();
+         }},
+        {"/threads", "application/json",
+         [](Impl&, const MetricsSnapshot&) { return threads_json(); }},
+        {"/waitgraph", "application/json",
+         [](Impl&, const MetricsSnapshot&) { return waitgraph_json(); }},
+    };
+    return r;
+  }
+
+  static std::string route_help() {
+    std::string help = "unknown path; try";
+    for (const RouteRow& r : routes()) {
+      help += ' ';
+      help += r.path;
+    }
+    help += '\n';
+    return help;
+  }
+
   // One request per connection, HTTP/1.0, GET only.
   void serve_client(int fd) {
     char buf[1024];
@@ -173,31 +227,18 @@ struct TelemetryServer::Impl {
         std::lock_guard<std::mutex> lock(mu);
         snap = latest;
       }
-      if (path == "/metrics") {
-        // Watchdog gauges ride the Prometheus export so one scrape target
-        // covers counters and alerts.
-        body = to_prometheus(snap) + watchdog().prometheus();
-      } else if (path == "/metrics.json") {
-        content_type = "application/json";
-        body = to_json(snap);
-      } else if (path == "/healthz") {
-        content_type = "application/json";
-        body = healthz_json();
-      } else if (path == "/profile") {
-        content_type = "application/json";
-        body = profile_json(snap);
-      } else if (path == "/history") {
-        body = timeseries().to_text();
-      } else if (path == "/history.json") {
-        content_type = "application/json";
-        body = timeseries().to_json();
-      } else if (path == "/alerts") {
-        content_type = "application/json";
-        body = watchdog().alerts_json();
+      const RouteRow* hit = nullptr;
+      for (const RouteRow& r : routes())
+        if (path == r.path) {
+          hit = &r;
+          break;
+        }
+      if (hit != nullptr) {
+        content_type = hit->content_type;
+        body = hit->handler(*this, snap);
       } else {
         status = "404 Not Found";
-        body = "unknown path; try /metrics /metrics.json /healthz /profile "
-               "/history /history.json /alerts\n";
+        body = route_help();
       }
     }
     std::ostringstream os;

@@ -12,6 +12,7 @@
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/waitgraph.h"
 #include "sync/wake_stats.h"
 #include "tm/stats.h"
 
@@ -48,6 +49,12 @@ constexpr void for_each_ts_field(Fn&& fn) {
   fn("notify_wake_p99_ns", &TsSample::notify_wake_p99_ns);
   fn("txn_commit_p99_ns", &TsSample::txn_commit_p99_ns);
   fn("cv_wait_p99_ns", &TsSample::cv_wait_p99_ns);
+  fn("stall_ns", &TsSample::stall_ns);
+  fn("stall_top_reason", &TsSample::stall_top_reason);
+  fn("max_wait_age_ms", &TsSample::max_wait_age_ms);
+  fn("stuck_age_ms", &TsSample::stuck_age_ms);
+  fn("wait_cycles", &TsSample::wait_cycles);
+  fn("threads_waiting", &TsSample::threads_waiting);
 }
 
 }  // namespace
@@ -193,6 +200,17 @@ struct TimeSeriesRecorder::Impl {
     w -= prev_cv_wait;
     s.cv_wait_p99_ns = w.percentile(0.99);
     prev_cv_wait = cur_cw;
+
+    // Wait-point probe: the recorder is the probe's single periodic
+    // caller, so lost-wakeup episode windows advance exactly once per
+    // tick.  Allocation-free, like everything else here.
+    const WaitProbe wp = waitgraph_probe();
+    s.stall_ns = wp.stall_ns;
+    s.stall_top_reason = wp.stall_top_reason;
+    s.max_wait_age_ms = wp.max_wait_age_ms;
+    s.stuck_age_ms = wp.stuck_age_ms;
+    s.wait_cycles = wp.wait_cycles;
+    s.threads_waiting = wp.threads_waiting;
 
     prev_tm = cur_tm;
     prev_cv = cur_cv;

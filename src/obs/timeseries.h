@@ -76,6 +76,17 @@ struct TsSample {
   std::uint64_t txn_commit_p99_ns = 0;
   std::uint64_t cv_wait_p99_ns = 0;
 
+  // Wait-point probe (obs/waitgraph.h): park time accumulated during this
+  // interval, the WaitReason index that dominated it (0 = none), and the
+  // stuck-thread signals the watchdog's stuck_thread / wait_cycle rules
+  // judge.  All zero until the first tick after a park.
+  std::uint64_t stall_ns = 0;
+  std::uint64_t stall_top_reason = 0;
+  std::uint64_t max_wait_age_ms = 0;
+  std::uint64_t stuck_age_ms = 0;
+  std::uint64_t wait_cycles = 0;
+  std::uint64_t threads_waiting = 0;
+
   // Derived rates (per second over the actual interval; 0 on a 0-ms tick).
   [[nodiscard]] double commits_per_sec() const noexcept {
     return interval_ms ? static_cast<double>(commits) * 1e3 / interval_ms

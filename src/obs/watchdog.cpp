@@ -33,6 +33,18 @@ std::vector<WatchdogRule> default_rules() {
       // capacity -- hit rate is about to follow.
       {RuleKind::kEvictionStorm, /*threshold=*/0.5, /*min_activity=*/100,
        /*consecutive=*/2},
+      // A waiter the waitgraph probe judged stuck (lost-wakeup suspect, or
+      // an orec/serial drain that outlived its windows) aging past 3 s.
+      // The signal is already heavily gated by the suspect heuristic, so
+      // two confirming samples suffice; activity is always 1 (a stuck
+      // thread is an incident precisely when the rest of the process is
+      // making progress).
+      {RuleKind::kStuckThread, /*threshold=*/3000.0, /*min_activity=*/1,
+       /*consecutive=*/2},
+      // Any thread in a waiter->holder cycle is a deadlock in the making:
+      // one confirmed sample fires.
+      {RuleKind::kWaitCycle, /*threshold=*/0.5, /*min_activity=*/1,
+       /*consecutive=*/1},
   };
 }
 
@@ -63,6 +75,10 @@ Signal signal_of(RuleKind k, const TsSample& s) {
                               static_cast<double>(s.kv_sets)
                         : 0.0,
               s.kv_sets};
+    case RuleKind::kStuckThread:
+      return {static_cast<double>(s.stuck_age_ms), 1};
+    case RuleKind::kWaitCycle:
+      return {static_cast<double>(s.wait_cycles), 1};
     case RuleKind::kRuleKindCount:
       break;
   }

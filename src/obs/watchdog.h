@@ -33,6 +33,8 @@ enum class RuleKind : std::uint8_t {
   kLatencyP99,          // notify->wake window p99 (ns) over threshold
   kParkImbalance,       // parks/(parks+parks_avoided) over threshold
   kEvictionStorm,       // kv_evictions/kv_sets over threshold
+  kStuckThread,         // oldest stuck waiter age (ms) over threshold
+  kWaitCycle,           // threads in waiter->holder cycles over threshold
   kRuleKindCount,
 };
 
@@ -48,6 +50,10 @@ enum class RuleKind : std::uint8_t {
       return "park_imbalance";
     case RuleKind::kEvictionStorm:
       return "eviction_storm";
+    case RuleKind::kStuckThread:
+      return "stuck_thread";
+    case RuleKind::kWaitCycle:
+      return "wait_cycle";
     case RuleKind::kRuleKindCount:
       break;
   }

@@ -19,6 +19,7 @@
 #include "obs/hooks.h"
 #include "sync/futex.h"
 #include "sync/spin.h"
+#include "sync/waitpoint.h"
 #include "util/cacheline.h"
 
 namespace tmcv {
@@ -68,6 +69,8 @@ class Semaphore {
     if (try_wait()) return true;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::nanoseconds(timeout_ns);
+    // Nested no-op when a condvar wait already published a richer scope.
+    WaitScope wp(WaitReason::kSemaphore, this);
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     for (;;) {
       if (try_wait()) {
@@ -129,6 +132,10 @@ class Semaphore {
       return;
     }
     detail::wake_counters().parks.fetch_add(1, std::memory_order_relaxed);
+    // Publish the park into the wait-point registry (outermost scope wins:
+    // under a condvar wait this is a nested no-op and the condvar's richer
+    // reason/site stays visible).
+    WaitScope wp(WaitReason::kSemaphore, this);
     waiters_.fetch_add(1, std::memory_order_seq_cst);
     for (;;) {
       std::uint32_t c = count_.load(std::memory_order_relaxed);
@@ -192,6 +199,7 @@ class BinarySemaphore {
     if (try_wait()) return true;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::nanoseconds(timeout_ns);
+    WaitScope wp(WaitReason::kSemaphore, this);
     for (;;) {
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) return try_wait();
@@ -278,6 +286,7 @@ class BinarySemaphore {
       return;
     }
     detail::wake_counters().parks.fetch_add(1, std::memory_order_relaxed);
+    WaitScope wp(WaitReason::kSemaphore, this);
     for (;;) {
       std::uint32_t one = 1;
       if (state_.compare_exchange_strong(one, 0, std::memory_order_acquire,

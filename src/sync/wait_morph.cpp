@@ -5,6 +5,7 @@
 #include "sync/locks.h"
 #include "sync/semaphore.h"
 #include "sync/wake_stats.h"
+#include "sync/waitpoint.h"
 
 namespace tmcv {
 
@@ -60,6 +61,10 @@ void morph_requeue(const void* key, MorphWaiter* w) noexcept {
   // morph_advance, and is cleared only by the waiter itself in
   // morph_consume after wakeup.
   w->key.store(key, std::memory_order_relaxed);
+  // Mirror the relay membership into the waiter's wait slot (if it is
+  // mid-publish) so the wait-for graph can draw the chain edge.
+  if (w->wslot != nullptr)
+    w->wslot->relay_key.store(key, std::memory_order_release);
   w->next = nullptr;
   Shard& s = shard_for(key);
   s.lock.lock();

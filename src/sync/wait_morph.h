@@ -31,14 +31,19 @@
 namespace tmcv {
 
 class BinarySemaphore;
+struct WaitSlot;
 
 // Intrusive node embedded in each condvar WaitNode.  `next` and `sem` are
 // owned by the sharded deferred table (mutated only under a shard lock);
 // `key` is written by the notifier before the waiter can run and consumed
-// exactly once by the waiter after wakeup.
+// exactly once by the waiter after wakeup.  `wslot`, when set by the
+// waiter, lets morph_requeue mirror the relay key into the wait-point
+// registry so /waitgraph shows which deferred waiters ride which lock
+// chain (advisory: cleared by the waiter's own WaitScope on wake).
 struct MorphWaiter {
   MorphWaiter* next = nullptr;
   BinarySemaphore* sem = nullptr;
+  WaitSlot* wslot = nullptr;
   std::atomic<const void*> key{nullptr};
 };
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "obs/attribution.h"
+#include "sync/waitpoint.h"
 #include "tm/api.h"
 #include "tm/registry.h"
 #include "tm/serial.h"
@@ -112,7 +113,13 @@ void controller_main() {
       std::lock_guard<std::mutex> lock(g_ctl_mu);
       k = g_knobs;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(k.window_ms));
+    {
+      // The controller is intentionally idle between policy windows; the
+      // publish keeps /threads honest (a sleeping controller is not a
+      // stuck worker) and attributes its off-CPU time to adaptive_sleep.
+      WaitScope wp(WaitReason::kAdaptiveSleep, nullptr, 0, k.window_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(k.window_ms));
+    }
     const Backend cur = default_backend();
     const Backend next = policy_step(w, k, self_slot);
     if (next == cur) {

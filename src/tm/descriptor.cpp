@@ -98,12 +98,17 @@ TxDescriptor::TxDescriptor() : slot_(0) {
 void TxDescriptor::attach() {
   slot_ = registry().register_thread(this);
   detail::tls_descriptor = this;
+  // Stamp the registry slot into this thread's wait slot so waitgraph
+  // edges (orec waiter -> owner slot, quiesce -> drained slot) resolve to
+  // an OS thread id.
+  waitpoint_bind_tm_slot(static_cast<std::uint32_t>(slot_));
 }
 
 void TxDescriptor::detach() {
   TMCV_ASSERT_MSG(state_ == TxState::Idle,
                   "thread exited with an open transaction");
   detail::tls_descriptor = nullptr;
+  waitpoint_unbind_tm_slot();
   registry().unregister_thread(slot_, stats_);
   stats_ = Stats{};
 }
@@ -748,6 +753,18 @@ OrecWord TxDescriptor::wait_for_orec_unlock(Orec& o) noexcept {
 #endif
   const std::uint32_t rounds = cm_orec_wait_rounds();
   OrecWord cur = o.load(std::memory_order_acquire);
+  // Publish the polite wait: target is the contested stripe, detail its
+  // index, and the site is the OWNER's transaction label (who we wait FOR;
+  // our own site is already on this descriptor).  Owner resolution is
+  // best-effort by design -- the lock word can change hands mid-wait.
+  std::uint16_t owner_site = 0;
+  if (orec_is_locked(cur)) {
+    if (const TxDescriptor* owner =
+            registry().descriptor(orec_owner_slot(cur)))
+      owner_site = owner->txn_site();
+  }
+  WaitScope wp(WaitReason::kOrec, &o, owner_site,
+               static_cast<std::uint32_t>(orec_index(o)));
   for (std::uint32_t r = 0; r < rounds && orec_is_locked(cur); ++r) {
     if (r < 2) {
       // Short jittered spins first: commit-time holds are usually a few

@@ -1,5 +1,6 @@
 #include "tm/serial.h"
 
+#include "sync/waitpoint.h"
 #include "tm/descriptor.h"
 #include "tm/registry.h"
 #include "util/backoff.h"
@@ -25,9 +26,17 @@ void SerialLock::acquire(std::uint64_t self_slot) noexcept {
   const std::uint64_t n = reg.high_water();
   for (std::uint64_t slot = 0; slot < n; ++slot) {
     if (slot == self_slot) continue;
+    const TxDescriptor* desc = reg.descriptor(slot);
+    if (desc == nullptr || (desc->activity() & 1ull) == 0) continue;
+    // Check-then-publish: only a slot we actually stall on is reported to
+    // the wait-point registry (reason serial_quiesce, detail = the drained
+    // slot, site = that transaction's label), so an uncontended serial
+    // entry publishes nothing.
+    WaitScope wp(WaitReason::kSerialQuiesce, desc, desc->txn_site(),
+                 static_cast<std::uint32_t>(slot));
     Backoff drain;
     for (;;) {
-      const TxDescriptor* desc = reg.descriptor(slot);
+      desc = reg.descriptor(slot);
       if (desc == nullptr || (desc->activity() & 1ull) == 0) break;
       drain.wait();
     }
@@ -39,6 +48,8 @@ void SerialLock::release() noexcept {
 }
 
 void SerialLock::wait_until_free() const noexcept {
+  if ((seq_->load(std::memory_order_acquire) & 1ull) == 0) return;
+  WaitScope wp(WaitReason::kSerialLock, this);
   Backoff backoff;
   while ((seq_->load(std::memory_order_acquire) & 1ull) != 0) backoff.wait();
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """tmcv-top: live terminal console for a running tmcv telemetry endpoint.
 
-Polls `/metrics.json`, `/history.json`, and `/alerts` from the in-process
-telemetry server (start one with `--serve-metrics`, plus `--history` /
-`--watchdog` for the time-series and alert panes) and renders a top-style
-dashboard: headline rates, sparklines over the recorder window, the top
-conflict pairs from abort attribution, and any firing watchdog alerts.
+Polls `/metrics.json`, `/history.json`, `/alerts`, and `/waitgraph` from
+the in-process telemetry server (start one with `--serve-metrics`, plus
+`--history` / `--watchdog` for the time-series and alert panes) and renders
+a top-style dashboard: headline rates, sparklines over the recorder window,
+a thread pane of parked threads from the wait-point registry (oldest waiter
+first and highlighted -- the lost-wakeup victim reads straight off the
+screen), the top conflict pairs from abort attribution, and any firing
+watchdog alerts.
 
     tools/tmcv_top.py 9464                    # port on localhost
     tools/tmcv_top.py 127.0.0.1:9464          # host:port
@@ -112,7 +115,33 @@ def backend_abort_rows(metrics):
     return rows
 
 
-def build_frame(metrics, history, alerts, width=80):
+def waiting_rows(waitgraph):
+    """[(is_oldest, line_body)] for the parked threads of a /waitgraph
+    document, oldest wait first: in a lost-wakeup the victim is by
+    definition the thread that has been parked the longest."""
+    threads = (waitgraph or {}).get("threads", [])
+    waiting = [t for t in threads
+               if isinstance(t, dict) and t.get("waiting")]
+    waiting.sort(key=lambda t: -t.get("age_ns", 0))
+    suspect_slots = {s.get("slot")
+                     for s in (waitgraph or {}).get("suspects", [])
+                     if isinstance(s, dict)}
+    rows = []
+    for i, t in enumerate(waiting):
+        tags = []
+        if t.get("slot") in suspect_slots:
+            tags.append("SUSPECT")
+        if t.get("relayed"):
+            tags.append("relayed")
+        rows.append((i == 0,
+                     "slot=%-3s tid=%-7s %-14s %-18s %8s  %s"
+                     % (t.get("slot", "?"), t.get("os_tid", "?"),
+                        t.get("reason", "?"), t.get("site", "?"),
+                        fmt_ns(t.get("age_ns", 0)), " ".join(tags))))
+    return rows
+
+
+def build_frame(metrics, history, alerts, waitgraph=None, width=80):
     """The whole dashboard as a list of lines -- pure, so testable."""
     lines = []
     spark_w = max(16, width - 34)
@@ -177,6 +206,22 @@ def build_frame(metrics, history, alerts, width=80):
                           % (b, fmt_si(total), breakdown))[:width])
     lines.append("")
 
+    if waitgraph is not None:
+        threads = waitgraph.get("threads", [])
+        parked = waiting_rows(waitgraph)
+        cycles = waitgraph.get("cycle_threads", 0)
+        lines.append(("threads: %d registered, %d waiting, %d in cycles, "
+                      "%d suspects"
+                      % (len(threads), len(parked), cycles,
+                         len(waitgraph.get("suspects", []))))[:width])
+        for is_oldest, body in parked[:8]:
+            # The oldest waiter gets the arrow: it is the thread to stare
+            # at when something is stuck.
+            lines.append(("> " if is_oldest else "  ") + body[:width - 2])
+        if len(parked) > 8:
+            lines.append("  ... %d more waiting" % (len(parked) - 8))
+        lines.append("")
+
     pairs = (metrics or {}).get("attribution", {}).get("conflict_pairs", [])
     if pairs:
         lines.append("top conflict pairs (victim <- attacker):")
@@ -195,7 +240,9 @@ def render_once(base, width):
     metrics = fetch_json(base, "/metrics.json")
     history = fetch_json(base, "/history.json")
     alerts = fetch_json(base, "/alerts")
-    return build_frame(metrics, history, alerts, width), metrics is not None
+    waitgraph = fetch_json(base, "/waitgraph")
+    return (build_frame(metrics, history, alerts, waitgraph, width),
+            metrics is not None)
 
 
 def run_plain(base, width):
@@ -272,6 +319,30 @@ _FIX_HISTORY = {
     ],
 }
 
+_FIX_WAITGRAPH = {
+    "now_ticks": 1000, "cycle_threads": 0,
+    "threads": [
+        {"slot": 0, "os_tid": 100, "tm_slot": 0, "waiting": False},
+        {"slot": 1, "os_tid": 101, "tm_slot": 1, "waiting": True,
+         "reason": "condvar", "site": "cv.wait.enqueue", "site_id": 1,
+         "detail": 0, "target": "0x1000", "relayed": False,
+         "age_ns": 740000000},
+        {"slot": 2, "os_tid": 102, "tm_slot": 2, "waiting": True,
+         "reason": "orec", "site": "kv_set", "site_id": 3, "detail": 7,
+         "target": "0x2000", "relayed": False, "age_ns": 1200},
+    ],
+    "edges": [
+        {"waiter_slot": 2, "waiter_tid": 102, "reason": "orec",
+         "holder_slot": 0, "holder_tid": 100, "holder_site": "kv_set",
+         "holder_site_id": 3, "in_cycle": False},
+    ],
+    "suspects": [
+        {"slot": 1, "os_tid": 101, "target": "0x1000",
+         "site": "cv.wait.enqueue", "age_ns": 740000000},
+    ],
+    "stall": {"total_ticks": 0, "total_ns": 0, "entries": []},
+}
+
 _FIX_ALERTS = {
     "watchdog_running": True,
     "alerts": [
@@ -335,6 +406,24 @@ def self_test():
           rows == [("norec", 200, "conflict=170 retry_wait=30")])
     check("backend rows tolerate missing table",
           backend_abort_rows({}) == [] and backend_abort_rows(None) == [])
+
+    wg_frame = "\n".join(build_frame(_FIX_METRICS, _FIX_HISTORY, _FIX_ALERTS,
+                                     _FIX_WAITGRAPH))
+    check("thread pane shows headline",
+          "threads: 3 registered, 2 waiting" in wg_frame)
+    rows = waiting_rows(_FIX_WAITGRAPH)
+    check("thread pane sorts oldest waiter first",
+          len(rows) == 2 and "slot=1" in rows[0][1]
+          and "slot=2" in rows[1][1])
+    check("oldest waiter highlighted, younger not",
+          rows[0][0] and not rows[1][0]
+          and "> slot=1" in wg_frame and "\n  slot=2" in wg_frame)
+    check("suspect tagged in thread pane", "SUSPECT" in rows[0][1])
+    check("running threads not listed as waiting",
+          "slot=0" not in rows[0][1] + rows[1][1])
+    check("frame without waitgraph omits pane",
+          "threads:" not in frame)
+    check("waiting rows tolerate missing doc", waiting_rows(None) == [])
 
     # Degraded inputs must not raise -- the console outlives the server.
     for m, h, a in ((None, None, None),

@@ -17,10 +17,12 @@ https://ui.perfetto.dev for a timeline; this script gives the terminal view:
 
 Flight-recorder dumps (src/obs/flight.cpp; `{"tmcv_flight": 1, ...}`) are
 detected automatically: --validate checks the section structure, that the
-embedded trace document is itself valid, and the attribution completeness
+embedded trace document is itself valid, the attribution completeness
 invariant (the unsliced conflict pairs sum exactly to
 `conflicts_recorded`, and -- when attribution ran the whole process
-lifetime with nothing dropped -- to `metrics.tm.aborts_conflict`).  The
+lifetime with nothing dropped -- to `metrics.tm.aborts_conflict`), and the
+waitgraph section (every wait-for edge references a listed thread slot;
+the stall table's reason x site entries sum exactly to its totals).  The
 default mode prints a section-by-section post-mortem summary.
 
 Causal analysis reconstructs the notify->wake->run edges from the event
@@ -113,7 +115,7 @@ def is_flight(doc):
 
 
 FLIGHT_SECTIONS = ("meta", "alerts", "metrics", "history",
-                   "attribution_full", "trace")
+                   "attribution_full", "waitgraph", "trace")
 
 
 def validate_flight(doc):
@@ -163,6 +165,44 @@ def validate_flight(doc):
             problems.append(
                 "conflicts_recorded=%d exceeds tm.aborts_conflict=%d "
                 "with nothing dropped" % (recorded, aborts_conflict))
+
+    # Wait-point registry snapshot: edges must reference listed threads and
+    # the stall table must keep its two-ledger exactness invariant
+    # (src/sync/waitpoint.h: sum of the reason x site cells == total, for
+    # every accepted snapshot, not just at quiescence).
+    wg = doc["waitgraph"]
+    threads = wg.get("threads")
+    edges = wg.get("edges")
+    if not isinstance(threads, list) or not isinstance(edges, list):
+        problems.append("waitgraph.threads/edges missing or not lists")
+    else:
+        slots = {t.get("slot") for t in threads if isinstance(t, dict)}
+        for i, e in enumerate(edges):
+            if not isinstance(e, dict):
+                problems.append("waitgraph.edges[%d] not an object" % i)
+                continue
+            if e.get("waiter_slot") not in slots:
+                problems.append(
+                    "waitgraph.edges[%d].waiter_slot=%r not a listed thread"
+                    % (i, e.get("waiter_slot")))
+            holder = e.get("holder_slot")
+            if holder is not None and holder not in slots:
+                problems.append(
+                    "waitgraph.edges[%d].holder_slot=%r not a listed thread"
+                    % (i, holder))
+    stall = wg.get("stall")
+    if not isinstance(stall, dict) or not isinstance(
+            stall.get("entries"), list):
+        problems.append("waitgraph.stall missing or malformed")
+    else:
+        entries = [e for e in stall["entries"] if isinstance(e, dict)]
+        for key in ("ticks", "ns"):
+            total = stall.get("total_%s" % key)
+            folded = sum(e.get(key, 0) for e in entries)
+            if isinstance(total, int) and folded != total:
+                problems.append(
+                    "stall entries sum to %d %s but total_%s=%d"
+                    % (folded, key, key, total))
     return problems
 
 
@@ -194,6 +234,21 @@ def summarize_flight(doc):
         print("  %-16s <- %-16s %d" % (p.get("victim", "?"),
                                        p.get("attacker", "?"),
                                        p.get("count", 0)))
+    wg = doc.get("waitgraph", {})
+    threads = wg.get("threads", [])
+    waiting = [t for t in threads if t.get("waiting")]
+    suspects = wg.get("suspects", [])
+    print("waitgraph: %d threads (%d waiting), %d edges, %d in cycles, "
+          "%d lost-wakeup suspects"
+          % (len(threads), len(waiting), len(wg.get("edges", [])),
+             wg.get("cycle_threads", 0), len(suspects)))
+    for s in suspects[:5]:
+        print("  suspect slot=%s tid=%s site=%s age=%.1fms"
+              % (s.get("slot", "?"), s.get("os_tid", "?"),
+                 s.get("site", "?"), s.get("age_ns", 0) / 1e6))
+    stall = wg.get("stall", {})
+    print("stall: %s ns attributed across %d (reason x site) rows"
+          % (stall.get("total_ns", "?"), len(stall.get("entries", []))))
     events = doc.get("trace", {}).get("traceEvents", [])
     print("trace: %d events" % len(events))
     if events:
@@ -460,6 +515,35 @@ def _fixture_flight():
             ],
             "hot_stripes": [],
         },
+        "waitgraph": {
+            "now_ticks": 1000, "cycle_threads": 0,
+            "threads": [
+                {"slot": 0, "os_tid": 100, "tm_slot": 0, "waiting": False},
+                {"slot": 1, "os_tid": 101, "tm_slot": 1, "waiting": True,
+                 "reason": "condvar", "site": "cv.wait.enqueue",
+                 "site_id": 1, "detail": 0, "target": "0x1000",
+                 "relayed": False, "age_ns": 505000000},
+            ],
+            "edges": [
+                {"waiter_slot": 1, "waiter_tid": 101, "reason": "condvar",
+                 "holder_slot": None, "holder_tid": None,
+                 "holder_site": "cv.notify", "holder_site_id": 2,
+                 "in_cycle": False},
+            ],
+            "suspects": [
+                {"slot": 1, "os_tid": 101, "target": "0x1000",
+                 "site": "cv.wait.enqueue", "age_ns": 505000000},
+            ],
+            "stall": {
+                "total_ticks": 300, "total_ns": 150,
+                "entries": [
+                    {"reason": "condvar", "site": "cv.wait.enqueue",
+                     "site_id": 1, "ticks": 200, "ns": 100},
+                    {"reason": "orec", "site": "unattributed",
+                     "site_id": 0, "ticks": 100, "ns": 50},
+                ],
+            },
+        },
         "trace": _FIX_TRACE_OK,
     }
 
@@ -515,6 +599,21 @@ def self_test():
     broken["trace"]["traceEvents"][1].pop("dur")
     check("flight validate recurses into trace",
           any(p.startswith("trace:") for p in validate_flight(broken)))
+
+    broken = copy.deepcopy(flight)
+    broken["waitgraph"]["edges"][0]["waiter_slot"] = 99
+    check("flight validate flags dangling waitgraph edge",
+          any("waiter_slot" in p for p in validate_flight(broken)))
+
+    broken = copy.deepcopy(flight)
+    broken["waitgraph"]["edges"][0]["holder_slot"] = 42
+    check("flight validate flags dangling holder slot",
+          any("holder_slot" in p for p in validate_flight(broken)))
+
+    broken = copy.deepcopy(flight)
+    broken["waitgraph"]["stall"]["entries"][0]["ticks"] = 1
+    check("flight validate flags stall ledger mismatch",
+          any("stall entries sum" in p for p in validate_flight(broken)))
 
     with contextlib.redirect_stdout(quiet):
         summarize_flight(flight)  # must not raise
